@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # atlas — the landmark constellation and measurement tools
+//!
+//! The paper's landmarks are the RIPE Atlas "anchors" (≈ 250 dedicated,
+//! reliably-located measurement hosts that continuously ping each other
+//! and publish the results) plus stable "probes" used to thicken coverage
+//! in the second measurement phase (§4). This crate is the substitute:
+//!
+//! * [`Constellation`] — anchors and probes placed with the paper's
+//!   geographic skew (majority in Europe, then North America, sparse in
+//!   Africa and South America — Fig. 3), attached as hosts to the
+//!   simulated network;
+//! * [`CalibrationDb`] — the rolling "most recent two weeks of ping
+//!   measurements": per-anchor delay–distance scatter from the
+//!   anchor↔anchor mesh, which the delay models calibrate on;
+//! * [`LandmarkServer`] — the paper's coordination server: refreshes the
+//!   landmark list, serves the two-phase landmark selections (3 anchors
+//!   per continent for the continent guess; 25 random same-continent
+//!   landmarks for the refinement, §4.1);
+//! * [`tools`] — the two measurement tools of §4.2/§4.3: the CLI tool
+//!   (TCP `connect()` to port 80, exactly one round trip) and the Web
+//!   tool (HTTPS-to-port-80 trick: one round trip if the landmark
+//!   refuses, two if it accepts and the TLS ClientHello must bounce),
+//!   with the per-OS/browser noise the paper measures in Figs. 4–6.
+
+pub mod calibration;
+pub mod constellation;
+pub mod server;
+pub mod tools;
+
+pub use calibration::{CalibrationDb, CalibrationSet};
+pub use constellation::{Constellation, ConstellationConfig, Landmark, LandmarkId};
+pub use server::LandmarkServer;
+pub use tools::{Browser, CliTool, MeasurementOs, RttSample, WebTool};

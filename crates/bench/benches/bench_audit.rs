@@ -1,0 +1,55 @@
+//! End-to-end audit cost: locating one proxy (tunnel establishment,
+//! two-phase measurement, CBG++, assessment) on a prebuilt small world.
+
+use bench::{build_study_context, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use geoloc::algorithms::CbgPlusPlus;
+use geoloc::assess::assess_claim;
+use geoloc::proxy::ProxyContext;
+use geoloc::twophase::{run_two_phase, ProxyProber};
+use geoloc::Geolocator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_single_proxy(c: &mut Criterion) {
+    let mut ctx = build_study_context(Scale::Small);
+    let proxy = ctx.study.providers.proxies[0].clone();
+    let client = ctx.study.client;
+    let atlas = std::sync::Arc::clone(ctx.study.world.atlas());
+    let mask = ctx.study.mask.clone();
+
+    let mut group = c.benchmark_group("audit one proxy");
+    group.sample_size(20);
+    group.bench_function("tunnel + two-phase + CBG++ + assess", |b| {
+        b.iter(|| {
+            let server = atlas::LandmarkServer::new(
+                &ctx.study.constellation,
+                &ctx.study.calibration,
+                &atlas,
+            );
+            let proxy_ctx = ProxyContext::establish(
+                ctx.study.world.network_mut(),
+                client,
+                proxy.node,
+                0.5,
+                4,
+            )
+            .expect("tunnel up");
+            let mut prober = ProxyProber {
+                ctx: proxy_ctx,
+                attempts: 2,
+            };
+            let mut rng = StdRng::seed_from_u64(7);
+            let two_phase =
+                run_two_phase(ctx.study.world.network_mut(), &server, &mut prober, &mut rng)
+                    .expect("measured");
+            let prediction = CbgPlusPlus.locate(&two_phase.observations, &mask);
+            black_box(assess_claim(&atlas, &prediction.region, proxy.claimed))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_proxy);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Geodesy primitive costs: the per-cell work every multilateration pays.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use geokit::{GeoGrid, GeoPoint, Region, SphericalCap};
+use std::hint::black_box;
+
+fn bench_haversine(c: &mut Criterion) {
+    let a = GeoPoint::new(50.11, 8.68);
+    let b = GeoPoint::new(-33.87, 151.21);
+    c.bench_function("haversine distance", |bench| {
+        bench.iter(|| black_box(a).distance_km(black_box(&b)))
+    });
+    c.bench_function("destination point", |bench| {
+        bench.iter(|| black_box(a).destination(black_box(137.0), black_box(2500.0)))
+    });
+}
+
+fn bench_rasterization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cap rasterization");
+    for res in [1.0, 0.5, 0.25] {
+        let grid = GeoGrid::new(res);
+        let cap = SphericalCap::new(GeoPoint::new(48.0, 10.0), 1500.0);
+        group.bench_function(format!("{res}deg 1500km"), |bench| {
+            bench.iter(|| {
+                let mut n = 0u32;
+                grid.for_each_cell_in_cap(black_box(&cap), |_| n += 1);
+                n
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_region_ops(c: &mut Criterion) {
+    let grid = GeoGrid::new(0.5);
+    let a = Region::from_cap(&grid, &SphericalCap::new(GeoPoint::new(50.0, 5.0), 2000.0));
+    let b = Region::from_cap(&grid, &SphericalCap::new(GeoPoint::new(48.0, 15.0), 2000.0));
+    c.bench_function("region intersection (0.5deg)", |bench| {
+        bench.iter_batched(
+            || a.clone(),
+            |mut r| {
+                r.intersect_with(black_box(&b));
+                r
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("region area (0.5deg)", |bench| {
+        bench.iter(|| black_box(&a).area_km2())
+    });
+    c.bench_function("region centroid (0.5deg)", |bench| {
+        bench.iter(|| black_box(&a).centroid())
+    });
+}
+
+criterion_group!(benches, bench_haversine, bench_rasterization, bench_region_ops);
+criterion_main!(benches);

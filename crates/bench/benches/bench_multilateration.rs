@@ -1,0 +1,76 @@
+//! Multilateration engine costs: disk/ring intersection and Bayesian
+//! posterior vs landmark count and grid resolution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use geokit::{GeoGrid, GeoPoint, Region};
+use geoloc::delay_model::SpotterModel;
+use geoloc::multilateration::{bayes_region, intersect_constraints, RingConstraint};
+use std::hint::black_box;
+
+/// N landmarks ringed around a European target with honest disks.
+fn disks(n: usize) -> Vec<RingConstraint> {
+    let target = GeoPoint::new(48.0, 11.0);
+    (0..n)
+        .map(|i| {
+            let bearing = 360.0 * i as f64 / n as f64;
+            let dist = 500.0 + 120.0 * (i % 7) as f64;
+            let lm = target.destination(bearing, dist);
+            RingConstraint::disk(lm, dist * 1.15)
+        })
+        .collect()
+}
+
+fn bench_intersection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disk intersection");
+    for res in [1.0, 0.5] {
+        let mask = Region::full(GeoGrid::new(res));
+        for n in [5usize, 25] {
+            let cs = disks(n);
+            group.bench_function(format!("{res}deg x{n}"), |b| {
+                b.iter(|| intersect_constraints(black_box(&cs), black_box(&mask)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_rings(c: &mut Criterion) {
+    let mask = Region::full(GeoGrid::new(1.0));
+    let target = GeoPoint::new(48.0, 11.0);
+    let cs: Vec<RingConstraint> = (0..25)
+        .map(|i| {
+            let lm = target.destination(14.4 * i as f64, 600.0 + 90.0 * (i % 5) as f64);
+            let d = lm.distance_km(&target);
+            RingConstraint::ring(lm, d * 0.8, d * 1.25)
+        })
+        .collect();
+    c.bench_function("ring intersection (1deg x25)", |b| {
+        b.iter(|| intersect_constraints(black_box(&cs), black_box(&mask)))
+    });
+}
+
+fn bench_bayes(c: &mut Criterion) {
+    let mask = Region::full(GeoGrid::new(2.0));
+    let set = atlas::CalibrationSet::from_points(
+        (1..=300)
+            .map(|i| {
+                let t = i as f64 * 0.4;
+                ((t * 95.0).max(0.0), t)
+            })
+            .collect(),
+    );
+    let model = SpotterModel::calibrate(&[&set]);
+    let target = GeoPoint::new(48.0, 11.0);
+    let obs: Vec<(GeoPoint, f64)> = (0..25)
+        .map(|i| {
+            let lm = target.destination(14.4 * i as f64, 700.0);
+            (lm, lm.distance_km(&target) / 95.0)
+        })
+        .collect();
+    c.bench_function("bayes posterior (2deg x25)", |b| {
+        b.iter(|| bayes_region(black_box(&obs), &model, &mask, 0.95))
+    });
+}
+
+criterion_group!(benches, bench_intersection, bench_rings, bench_bayes);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Fig. 14: the VPN-market claim survey.
+
+use crate::scale::StudyContext;
+use std::fmt::Write as _;
+
+/// Fig. 14: claimed-country counts for the 157 surveyed providers, with
+/// the studied providers A–G marked at their market ranks.
+pub fn fig14_market(ctx: &StudyContext) -> String {
+    let mut out = String::new();
+    let survey = &ctx.study.survey;
+    let profiles = &ctx.study.providers.profiles;
+    let _ = writeln!(out, "# Fig.14: provider rank vs claimed-country count");
+    let _ = writeln!(out, "rank,claimed_countries,studied_provider");
+    for p in survey.providers() {
+        let mark = profiles
+            .iter()
+            .find(|prof| prof.market_rank == p.rank)
+            .map(|prof| prof.name.to_string())
+            .unwrap_or_default();
+        let _ = writeln!(out, "{},{},{}", p.rank, p.claimed.len(), mark);
+    }
+    // The "providers who claim only a few locations claim the same
+    // locations" observation: overlap of the bottom-quartile providers'
+    // claims with the global top-10 popularity list.
+    let atlas = ctx.study.world.atlas();
+    let top10 = &survey.popularity_order()[..10];
+    let modest: Vec<_> = survey
+        .providers()
+        .iter()
+        .filter(|p| p.claimed.len() <= 12)
+        .collect();
+    if !modest.is_empty() {
+        let mut overlap = 0usize;
+        let mut total = 0usize;
+        for p in &modest {
+            total += p.claimed.len();
+            overlap += p.claimed.iter().filter(|c| top10.contains(c)).count();
+        }
+        let _ = writeln!(
+            out,
+            "# modest providers (≤12 claims, n={}): {:.0} % of their claims are top-10 countries ({})",
+            modest.len(),
+            100.0 * overlap as f64 / total as f64,
+            top10
+                .iter()
+                .map(|&c| atlas.country(c).iso2())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+    }
+    out
+}

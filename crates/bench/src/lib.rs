@@ -1,0 +1,11 @@
+#![warn(missing_docs)]
+
+//! Shared harness for the figure-regeneration binary and the Criterion
+//! benches: study/crowd context builders at three scales, plus small
+//! text-rendering helpers (ASCII CDFs, aligned tables).
+
+pub mod figures;
+pub mod render;
+pub mod scale;
+
+pub use scale::{build_crowd_context, build_study_context, CrowdContext, Scale, StudyContext};

@@ -1,0 +1,116 @@
+//! The shortest-ping baseline (§2).
+//!
+//! "The simplest active method is to guess that the target is in the same
+//! place as the landmark with the shortest round-trip time. This breaks
+//! down when the target is not near any of the landmarks." Included as
+//! the historical baseline every multilateration method is measured
+//! against.
+//!
+//! The prediction region is a disk around the winning landmark whose
+//! radius is that landmark's bestline bound for the observed delay — the
+//! tightest statement the method's own logic supports.
+
+use crate::algorithms::{Geolocator, Prediction};
+use crate::delay_model::CbgModel;
+use crate::multilateration::{intersect_constraints, RingConstraint};
+use crate::observation::Observation;
+use geokit::Region;
+
+/// The shortest-ping baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShortestPing;
+
+impl Geolocator for ShortestPing {
+    fn name(&self) -> &'static str {
+        "Shortest-ping"
+    }
+
+    fn locate(&self, observations: &[Observation], mask: &Region) -> Prediction {
+        let Some(best) = observations.iter().min_by(|a, b| {
+            a.one_way_ms
+                .partial_cmp(&b.one_way_ms)
+                .expect("finite delays")
+        }) else {
+            return Prediction {
+                region: mask.clone(),
+            };
+        };
+        let slack = crate::multilateration::constraint::grid_slack_km(mask.grid());
+        let model = CbgModel::calibrate(&best.calibration);
+        let radius = model.max_distance_km(best.one_way_ms);
+        let disk = RingConstraint::disk(best.landmark, radius).inflated(slack);
+        Prediction {
+            region: intersect_constraints(&[disk], mask),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas::CalibrationSet;
+    use geokit::{GeoGrid, GeoPoint};
+
+    fn calib() -> CalibrationSet {
+        CalibrationSet::from_points(
+            (1..=40)
+                .map(|i| {
+                    let d = f64::from(i) * 250.0;
+                    (d, d / 100.0 + 0.3)
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn near_a_landmark_it_works() {
+        let grid = GeoGrid::new(1.0);
+        let mask = Region::full(grid);
+        let truth = GeoPoint::new(50.5, 8.5);
+        let obs: Vec<Observation> = [(50.0, 8.0), (40.0, -3.0), (59.0, 18.0)]
+            .iter()
+            .map(|&(lat, lon)| {
+                let lm = GeoPoint::new(lat, lon);
+                Observation::new(lm, lm.distance_km(&truth) / 100.0 + 0.3, calib())
+            })
+            .collect();
+        let p = ShortestPing.locate(&obs, &mask);
+        assert!(p.region.contains_point(&truth));
+        // The region hugs the winning landmark.
+        assert!(p.region.contains_point(&GeoPoint::new(50.0, 8.0)));
+    }
+
+    #[test]
+    fn far_from_all_landmarks_it_breaks_down() {
+        // §2: "This breaks down when the target is not near any of the
+        // landmarks." A mid-Atlantic target is pinned to the wrong side.
+        let grid = GeoGrid::new(1.0);
+        let mask = Region::full(grid);
+        let truth = GeoPoint::new(30.0, -40.0); // mid-ocean
+        let obs: Vec<Observation> = [(40.0, -74.0), (51.0, 0.0), (38.0, -9.0)]
+            .iter()
+            .map(|&(lat, lon)| {
+                let lm = GeoPoint::new(lat, lon);
+                Observation::new(lm, lm.distance_km(&truth) / 100.0 + 0.3, calib())
+            })
+            .collect();
+        let p = ShortestPing.locate(&obs, &mask);
+        // Multilateration (CBG) covers the truth here; shortest-ping's
+        // single disk centred on Lisbon-ish may or may not reach it, but
+        // its centroid is dragged to the winning landmark.
+        let centroid = p.region.centroid().unwrap();
+        let lisbon = GeoPoint::new(38.0, -9.0);
+        assert!(
+            centroid.distance_km(&lisbon) < centroid.distance_km(&truth),
+            "centroid should sit near the winning landmark, not the truth"
+        );
+    }
+
+    #[test]
+    fn empty_observations_return_mask() {
+        let grid = GeoGrid::new(4.0);
+        let mask = Region::full(grid);
+        let p = ShortestPing.locate(&[], &mask);
+        assert_eq!(p.region.cell_count(), mask.cell_count());
+    }
+}

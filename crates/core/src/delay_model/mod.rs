@@ -1,0 +1,10 @@
+//! Delay–distance models: given a one-way travel time, how far could (and
+//! must) the packet have gone?
+
+pub mod cbg;
+pub mod octant;
+pub mod spotter;
+
+pub use cbg::CbgModel;
+pub use octant::OctantModel;
+pub use spotter::SpotterModel;

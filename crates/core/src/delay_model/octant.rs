@@ -1,0 +1,223 @@
+//! (Quasi-)Octant's delay model (§3.2).
+//!
+//! Octant bounds the target's distance from a landmark on *both* sides:
+//! a maximum-distance curve (how far the fastest plausible path reaches
+//! in the observed time) and a minimum-distance curve (how far even the
+//! slowest plausible path must have gone). Both are piecewise-linear
+//! curves over the calibration scatter:
+//!
+//! * the **max curve** follows the *fast frontier* — the upper convex
+//!   frontier of distance as a function of delay — using only
+//!   observations whose delay is below the 50th percentile;
+//! * the **min curve** follows the *slow frontier* — the lower frontier —
+//!   using observations below the 75th percentile;
+//! * beyond the cutoffs "Octant uses fixed empirical speed estimates":
+//!   we extend with the 90th- and 10th-percentile observed speeds
+//!   respectively (the published description leaves the exact constants
+//!   open; any fixed empirical quantile pair preserves the behaviour).
+//!
+//! This is "Quasi"-Octant: the height/traceroute features of the original
+//! are omitted, exactly as in the paper, because proxies break traceroute
+//! (§4.2).
+
+use atlas::CalibrationSet;
+use geokit::hull::{lower_hull, PiecewiseLinear};
+use geokit::stats::Ecdf;
+use geokit::FIBER_SPEED_KM_PER_MS;
+
+/// A fitted per-landmark Quasi-Octant model.
+#[derive(Debug, Clone)]
+pub struct OctantModel {
+    /// Fast frontier (delay → max distance), valid up to `max_cutoff_ms`.
+    max_curve: PiecewiseLinear,
+    /// Slow frontier (delay → min distance), valid up to `min_cutoff_ms`.
+    min_curve: PiecewiseLinear,
+    /// 50th-percentile delay cutoff for the max curve.
+    max_cutoff_ms: f64,
+    /// 75th-percentile delay cutoff for the min curve.
+    min_cutoff_ms: f64,
+    /// Fixed empirical speed for delays beyond the max cutoff, km/ms.
+    fast_speed: f64,
+    /// Fixed empirical speed for delays beyond the min cutoff, km/ms.
+    slow_speed: f64,
+}
+
+impl OctantModel {
+    /// Fit from a landmark's calibration scatter.
+    pub fn calibrate(set: &CalibrationSet) -> OctantModel {
+        let pts = set.points();
+        if pts.is_empty() {
+            // Physics-only fallback: max at fibre speed, no minimum.
+            return OctantModel {
+                max_curve: PiecewiseLinear::new(vec![(0.0, 0.0)]),
+                min_curve: PiecewiseLinear::new(vec![(0.0, 0.0)]),
+                max_cutoff_ms: 0.0,
+                min_cutoff_ms: 0.0,
+                fast_speed: FIBER_SPEED_KM_PER_MS,
+                slow_speed: 0.0,
+            };
+        }
+
+        // Work in (delay, distance) space.
+        let dt: Vec<(f64, f64)> = pts.iter().map(|&(d, t)| (t, d)).collect();
+        let delays = Ecdf::new(dt.iter().map(|p| p.0).collect());
+        let max_cutoff_ms = delays.quantile(0.5).expect("nonempty");
+        let min_cutoff_ms = delays.quantile(0.75).expect("nonempty");
+
+        // Fast frontier: upper hull of (delay, distance) = lower hull of
+        // (delay, -distance), restricted to the cutoff.
+        let fast_pts: Vec<(f64, f64)> = dt
+            .iter()
+            .filter(|p| p.0 <= max_cutoff_ms)
+            .map(|&(t, d)| (t, -d))
+            .collect();
+        let max_curve = PiecewiseLinear::new(
+            lower_hull(&fast_pts)
+                .into_iter()
+                .map(|(t, nd)| (t, -nd))
+                .collect(),
+        );
+
+        // Slow frontier: lower hull of (delay, distance) up to 75 %.
+        let slow_pts: Vec<(f64, f64)> = dt
+            .iter()
+            .filter(|p| p.0 <= min_cutoff_ms)
+            .copied()
+            .collect();
+        let min_curve = PiecewiseLinear::new(lower_hull(&slow_pts));
+
+        // Empirical extension speeds from the whole scatter.
+        let speeds = Ecdf::new(
+            dt.iter()
+                .filter(|p| p.0 > 1e-9)
+                .map(|&(t, d)| d / t)
+                .collect(),
+        );
+        let fast_speed = speeds
+            .quantile(0.9)
+            .unwrap_or(FIBER_SPEED_KM_PER_MS)
+            .min(FIBER_SPEED_KM_PER_MS);
+        let slow_speed = speeds.quantile(0.1).unwrap_or(0.0).max(0.0);
+
+        OctantModel {
+            max_curve,
+            min_curve,
+            max_cutoff_ms,
+            min_cutoff_ms,
+            fast_speed,
+            slow_speed,
+        }
+    }
+
+    /// Maximum distance the target can be from the landmark, km.
+    pub fn max_distance_km(&self, one_way_ms: f64) -> f64 {
+        if one_way_ms <= self.max_cutoff_ms {
+            self.max_curve.eval(one_way_ms).max(0.0)
+        } else {
+            // Beyond the reliable region: anchor at the curve's end and
+            // extend at the fixed fast speed.
+            let base = self.max_curve.eval(self.max_cutoff_ms).max(0.0);
+            base + (one_way_ms - self.max_cutoff_ms) * self.fast_speed
+        }
+    }
+
+    /// Minimum distance the target must be from the landmark, km.
+    ///
+    /// This is the assumption that "there is a minimum speed packets can
+    /// travel" which large queueing delays invalidate (§2, §5) — the very
+    /// reason Octant-style models underperform on noisy global data.
+    ///
+    /// Clamped to never exceed [`OctantModel::max_distance_km`]: the two
+    /// envelopes extend from different cutoffs (50 % vs 75 %) at different
+    /// fixed speeds, and on degenerate calibration sets the raw curves can
+    /// cross — an incoherent ring, so the max curve wins.
+    pub fn min_distance_km(&self, one_way_ms: f64) -> f64 {
+        let raw = if one_way_ms <= self.min_cutoff_ms {
+            self.min_curve.eval(one_way_ms).max(0.0)
+        } else {
+            let base = self.min_curve.eval(self.min_cutoff_ms).max(0.0);
+            base + (one_way_ms - self.min_cutoff_ms) * self.slow_speed
+        };
+        raw.min(self.max_distance_km(one_way_ms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scatter: distance/time around 100 km/ms ± structured noise.
+    fn scatter() -> CalibrationSet {
+        let mut pts = Vec::new();
+        for i in 1..=80 {
+            let d = f64::from(i) * 120.0;
+            let base = d / 100.0;
+            let noise = f64::from((i * 29) % 13); // 0..12 ms extra
+            pts.push((d, base + noise));
+        }
+        CalibrationSet::from_points(pts)
+    }
+
+    #[test]
+    fn envelope_brackets_calibration_points_below_cutoff() {
+        let s = scatter();
+        let m = OctantModel::calibrate(&s);
+        for &(d, t) in s.points() {
+            if t <= m.max_cutoff_ms {
+                assert!(
+                    m.max_distance_km(t) + 1e-6 >= d,
+                    "max curve cuts below point ({d}, {t})"
+                );
+            }
+            if t <= m.min_cutoff_ms {
+                assert!(
+                    m.min_distance_km(t) <= d + 1e-6,
+                    "min curve cuts above point ({d}, {t})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_is_below_max() {
+        let m = OctantModel::calibrate(&scatter());
+        for t in [1.0, 5.0, 20.0, 60.0, 150.0, 400.0] {
+            assert!(
+                m.min_distance_km(t) <= m.max_distance_km(t) + 1e-6,
+                "inverted envelope at {t} ms"
+            );
+        }
+    }
+
+    #[test]
+    fn curves_extend_beyond_cutoff() {
+        let m = OctantModel::calibrate(&scatter());
+        let t_far = m.max_cutoff_ms * 4.0;
+        let at_cut = m.max_distance_km(m.max_cutoff_ms);
+        assert!(m.max_distance_km(t_far) > at_cut, "no extension growth");
+        // And the extension is linear in t.
+        let a = m.max_distance_km(t_far);
+        let b = m.max_distance_km(t_far + 10.0);
+        let c = m.max_distance_km(t_far + 20.0);
+        assert!(((c - b) - (b - a)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_calibration_behaves_like_physics() {
+        let m = OctantModel::calibrate(&CalibrationSet::default());
+        assert_eq!(m.min_distance_km(100.0), 0.0);
+        assert!((m.max_distance_km(10.0) - 2000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_distance_is_monotone_in_delay() {
+        let m = OctantModel::calibrate(&scatter());
+        let mut prev = 0.0;
+        for i in 0..200 {
+            let t = f64::from(i) * 0.5;
+            let d = m.max_distance_km(t);
+            assert!(d + 1e-6 >= prev, "max curve decreasing at {t} ms");
+            prev = d;
+        }
+    }
+}

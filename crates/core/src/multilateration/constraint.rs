@@ -1,0 +1,203 @@
+//! Ring/disk constraints and their intersection.
+//!
+//! A constraint says "the target is between `min_km` and `max_km` from
+//! this landmark" (a disk when `min_km` is zero — CBG's case — or an
+//! annulus — Octant's). The intersection engine exploits the structure of
+//! the problem: the *smallest* disk confines the search, so it is
+//! rasterized once and every other constraint is evaluated as a
+//! point-in-ring test on the survivors. Most constraints are wildly
+//! slack ("ineffective", §5.2), so this is orders of magnitude cheaper
+//! than rasterizing every disk.
+
+use geokit::{GeoPoint, Region, SphericalCap};
+
+/// One per-landmark distance constraint.
+#[derive(Debug, Clone, Copy)]
+pub struct RingConstraint {
+    /// The landmark.
+    pub center: GeoPoint,
+    /// Minimum distance, km (0 for a plain disk).
+    pub min_km: f64,
+    /// Maximum distance, km.
+    pub max_km: f64,
+}
+
+impl RingConstraint {
+    /// A plain disk constraint.
+    pub fn disk(center: GeoPoint, max_km: f64) -> RingConstraint {
+        RingConstraint {
+            center,
+            min_km: 0.0,
+            max_km,
+        }
+    }
+
+    /// A ring constraint.
+    ///
+    /// # Panics
+    /// Panics if `min_km > max_km` or either is not finite.
+    pub fn ring(center: GeoPoint, min_km: f64, max_km: f64) -> RingConstraint {
+        assert!(
+            min_km.is_finite() && max_km.is_finite() && min_km >= 0.0 && min_km <= max_km,
+            "bad ring bounds [{min_km}, {max_km}]"
+        );
+        RingConstraint {
+            center,
+            min_km,
+            max_km,
+        }
+    }
+
+    /// Point-in-constraint test.
+    #[inline]
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        let d = self.center.distance_km(p);
+        d >= self.min_km && d <= self.max_km
+    }
+
+    /// Inflate the constraint by `slack_km` on both sides (outer radius
+    /// grows, inner radius shrinks, floored at zero).
+    ///
+    /// Used for coverage-preserving rasterization: a region is the set of
+    /// *cell centres* satisfying every constraint, and a cell centre can
+    /// be up to half a cell diagonal away from the true location, so any
+    /// sound grid evaluation must widen constraints by that much (see
+    /// [`grid_slack_km`]). Without this, a constraint tighter than one
+    /// cell silently excludes the very cell the target sits in.
+    pub fn inflated(&self, slack_km: f64) -> RingConstraint {
+        assert!(slack_km >= 0.0, "negative slack {slack_km}");
+        RingConstraint {
+            center: self.center,
+            min_km: (self.min_km - slack_km).max(0.0),
+            max_km: self.max_km + slack_km,
+        }
+    }
+}
+
+/// The rasterization slack for a grid: slightly more than half the
+/// diagonal of an equatorial cell (cells shrink towards the poles, so
+/// this is conservative everywhere).
+pub fn grid_slack_km(grid: &geokit::GeoGrid) -> f64 {
+    0.75 * grid.resolution_deg() * 111.32
+}
+
+/// Intersect all constraints with each other and the mask. Returns the
+/// (possibly empty) region of mask cells satisfying every constraint.
+pub fn intersect_constraints(constraints: &[RingConstraint], mask: &Region) -> Region {
+    let grid = mask.grid();
+    let mut out = Region::empty(std::sync::Arc::clone(grid));
+    if constraints.is_empty() {
+        return mask.clone();
+    }
+    // Anchor on the tightest (smallest max radius) constraint.
+    let anchor = constraints
+        .iter()
+        .enumerate()
+        .min_by(|a, b| {
+            a.1.max_km
+                .partial_cmp(&b.1.max_km)
+                .expect("finite radii")
+        })
+        .map(|(i, _)| i)
+        .expect("nonempty constraints");
+    let cap = SphericalCap::new(constraints[anchor].center, constraints[anchor].max_km);
+    grid.for_each_cell_in_cap(&cap, |cell| {
+        if !mask.contains_cell(cell) {
+            return;
+        }
+        let p = grid.center(cell);
+        if constraints
+            .iter()
+            .all(|c| c.contains(&p))
+        {
+            out.insert(cell);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geokit::GeoGrid;
+
+    fn full_mask() -> Region {
+        Region::full(GeoGrid::new(1.0))
+    }
+
+    #[test]
+    fn single_disk_matches_cap_rasterization() {
+        let mask = full_mask();
+        let c = RingConstraint::disk(GeoPoint::new(50.0, 10.0), 1200.0);
+        let region = intersect_constraints(&[c], &mask);
+        let direct = Region::from_cap(
+            mask.grid(),
+            &SphericalCap::new(GeoPoint::new(50.0, 10.0), 1200.0),
+        );
+        assert_eq!(region.cell_count(), direct.cell_count());
+    }
+
+    #[test]
+    fn belgium_style_intersection() {
+        // The paper's Fig. 1: Bourges 500 km, Cromer 500 km, Randers
+        // 800 km ⇒ roughly Belgium.
+        let mask = full_mask();
+        let cs = [
+            RingConstraint::disk(GeoPoint::new(47.08, 2.40), 500.0), // Bourges
+            RingConstraint::disk(GeoPoint::new(52.93, 1.30), 500.0), // Cromer
+            RingConstraint::disk(GeoPoint::new(56.46, 10.04), 800.0), // Randers
+        ];
+        let region = intersect_constraints(&cs, &mask);
+        assert!(!region.is_empty());
+        assert!(region.contains_point(&GeoPoint::new(50.85, 4.35))); // Brussels
+        assert!(!region.contains_point(&GeoPoint::new(48.86, 2.35))); // Paris: too far from Cromer
+        assert!(!region.contains_point(&GeoPoint::new(52.52, 13.40))); // Berlin
+    }
+
+    #[test]
+    fn ring_excludes_inner_disk() {
+        let mask = full_mask();
+        let center = GeoPoint::new(0.0, 0.0);
+        let c = RingConstraint::ring(center, 1000.0, 2500.0);
+        let region = intersect_constraints(&[c], &mask);
+        assert!(!region.contains_point(&center));
+        assert!(region.contains_point(&center.destination(90.0, 1800.0)));
+    }
+
+    #[test]
+    fn disjoint_constraints_give_empty_region() {
+        let mask = full_mask();
+        let cs = [
+            RingConstraint::disk(GeoPoint::new(60.0, 0.0), 400.0),
+            RingConstraint::disk(GeoPoint::new(-60.0, 180.0), 400.0),
+        ];
+        assert!(intersect_constraints(&cs, &mask).is_empty());
+    }
+
+    #[test]
+    fn mask_is_respected() {
+        let grid = GeoGrid::new(1.0);
+        // Mask = northern hemisphere only.
+        let mask = Region::from_predicate(&grid, |p| p.lat() > 0.0);
+        let c = RingConstraint::disk(GeoPoint::new(0.0, 0.0), 3000.0);
+        let region = intersect_constraints(&[c], &mask);
+        assert!(!region.is_empty());
+        for cell in region.cells() {
+            assert!(grid.center(cell).lat() > 0.0);
+        }
+    }
+
+    #[test]
+    fn no_constraints_returns_mask() {
+        let grid = GeoGrid::new(2.0);
+        let mask = Region::from_predicate(&grid, |p| p.lat().abs() < 10.0);
+        let region = intersect_constraints(&[], &mask);
+        assert_eq!(region.cell_count(), mask.cell_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad ring bounds")]
+    fn inverted_ring_panics() {
+        RingConstraint::ring(GeoPoint::new(0.0, 0.0), 10.0, 5.0);
+    }
+}

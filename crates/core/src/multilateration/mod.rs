@@ -1,0 +1,10 @@
+//! Multilateration engines: turn per-landmark distance constraints into
+//! prediction regions on the global grid.
+
+pub mod bayes;
+pub mod constraint;
+pub mod subset;
+
+pub use bayes::{bayes_region, BayesOutput};
+pub use constraint::{intersect_constraints, RingConstraint};
+pub use subset::{max_consistent_subset, SubsetResult};

@@ -1,0 +1,193 @@
+//! The largest-consistent-subset search of CBG++ (§5.1).
+//!
+//! When disks underestimate, the full intersection can be empty — the
+//! algorithm would predict *nowhere*. CBG++ instead finds "the largest
+//! subset of all the … disks whose intersection is nonempty". The paper
+//! implements this by depth-first search over the powerset; we use an
+//! exact cell-wise formulation that is both simpler and faster on a grid:
+//!
+//! > A subset S of constraints has nonempty intersection iff some mask
+//! > cell satisfies every constraint in S; hence the maximum-cardinality
+//! > consistent subsets are exactly the constraint-sets of the cells that
+//! > satisfy the most constraints, and the union of those subsets'
+//! > intersections is the set of cells achieving that maximum count.
+//!
+//! The fast path (everything consistent) avoids the counting sweep
+//! entirely.
+
+use crate::multilateration::constraint::{intersect_constraints, RingConstraint};
+use geokit::Region;
+
+/// Result of the subset search.
+#[derive(Debug)]
+pub struct SubsetResult {
+    /// Cells consistent with a maximum-cardinality subset of constraints.
+    pub region: Region,
+    /// Size of the maximum consistent subset.
+    pub satisfied: usize,
+    /// Total number of constraints given.
+    pub total: usize,
+}
+
+/// Find the maximal consistent subset region over `mask`.
+///
+/// With no constraints, the whole mask is trivially consistent.
+pub fn max_consistent_subset(constraints: &[RingConstraint], mask: &Region) -> SubsetResult {
+    let total = constraints.len();
+    if total == 0 {
+        return SubsetResult {
+            region: mask.clone(),
+            satisfied: 0,
+            total,
+        };
+    }
+
+    // Fast path: all constraints already agree somewhere.
+    let all = intersect_constraints(constraints, mask);
+    if !all.is_empty() {
+        return SubsetResult {
+            region: all,
+            satisfied: total,
+            total,
+        };
+    }
+
+    // Counting sweep: for every mask cell, how many constraints hold?
+    let grid = mask.grid();
+    let mut best_count = 0usize;
+    let mut best_cells: Vec<geokit::CellId> = Vec::new();
+    for cell in mask.cells() {
+        let p = grid.center(cell);
+        let mut count = 0usize;
+        for c in constraints {
+            if c.contains(&p) {
+                count += 1;
+                // Early exit: can't do better than "all", and all was
+                // empty, so the max is < total; no pruning beyond that
+                // is sound because counts vary per cell.
+            }
+        }
+        use std::cmp::Ordering;
+        match count.cmp(&best_count) {
+            Ordering::Greater => {
+                best_count = count;
+                best_cells.clear();
+                best_cells.push(cell);
+            }
+            Ordering::Equal if count > 0 => best_cells.push(cell),
+            _ => {}
+        }
+    }
+    let mut region = Region::empty(std::sync::Arc::clone(grid));
+    for cell in best_cells {
+        region.insert(cell);
+    }
+    SubsetResult {
+        region,
+        satisfied: best_count,
+        total,
+    }
+}
+
+/// True if the constraint is consistent with (overlaps) a region: some
+/// region cell lies inside the constraint. Used by CBG++ to discard
+/// bestline disks that contradict the baseline region (§5.1).
+pub fn constraint_overlaps_region(constraint: &RingConstraint, region: &Region) -> bool {
+    let grid = region.grid();
+    region
+        .cells()
+        .any(|cell| constraint.contains(&grid.center(cell)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geokit::{GeoGrid, GeoPoint};
+
+    fn mask() -> Region {
+        Region::full(GeoGrid::new(1.0))
+    }
+
+    #[test]
+    fn consistent_set_takes_fast_path() {
+        let m = mask();
+        let cs = [
+            RingConstraint::disk(GeoPoint::new(50.0, 5.0), 1000.0),
+            RingConstraint::disk(GeoPoint::new(50.0, 10.0), 1000.0),
+        ];
+        let r = max_consistent_subset(&cs, &m);
+        assert_eq!(r.satisfied, 2);
+        assert!(!r.region.is_empty());
+    }
+
+    #[test]
+    fn one_bad_disk_is_dropped() {
+        let m = mask();
+        // Two agreeing disks in Europe, one contradicting disk in the
+        // Pacific: the max subset is the European pair.
+        let cs = [
+            RingConstraint::disk(GeoPoint::new(50.0, 5.0), 800.0),
+            RingConstraint::disk(GeoPoint::new(50.0, 10.0), 800.0),
+            RingConstraint::disk(GeoPoint::new(-20.0, -150.0), 500.0),
+        ];
+        let r = max_consistent_subset(&cs, &m);
+        assert_eq!(r.satisfied, 2);
+        assert!(r.region.contains_point(&GeoPoint::new(50.0, 7.5)));
+        assert!(!r.region.contains_point(&GeoPoint::new(-20.0, -150.0)));
+    }
+
+    #[test]
+    fn tie_between_subsets_unions_their_intersections() {
+        let m = mask();
+        // Two disjoint agreeing pairs: both are maximal (size 2), so the
+        // result covers both intersection areas.
+        let cs = [
+            RingConstraint::disk(GeoPoint::new(50.0, 5.0), 700.0),
+            RingConstraint::disk(GeoPoint::new(50.0, 9.0), 700.0),
+            RingConstraint::disk(GeoPoint::new(-30.0, 140.0), 700.0),
+            RingConstraint::disk(GeoPoint::new(-30.0, 144.0), 700.0),
+        ];
+        let r = max_consistent_subset(&cs, &m);
+        assert_eq!(r.satisfied, 2);
+        assert!(r.region.contains_point(&GeoPoint::new(50.0, 7.0)));
+        assert!(r.region.contains_point(&GeoPoint::new(-30.0, 142.0)));
+    }
+
+    #[test]
+    fn empty_constraints_return_mask() {
+        let m = mask();
+        let r = max_consistent_subset(&[], &m);
+        assert_eq!(r.satisfied, 0);
+        assert_eq!(r.region.cell_count(), m.cell_count());
+    }
+
+    #[test]
+    fn overlap_test() {
+        let grid = GeoGrid::new(1.0);
+        let region = Region::from_cap(
+            &grid,
+            &geokit::SphericalCap::new(GeoPoint::new(50.0, 5.0), 300.0),
+        );
+        let near = RingConstraint::disk(GeoPoint::new(50.0, 6.0), 300.0);
+        let far = RingConstraint::disk(GeoPoint::new(0.0, 100.0), 300.0);
+        assert!(constraint_overlaps_region(&near, &region));
+        assert!(!constraint_overlaps_region(&far, &region));
+    }
+
+    #[test]
+    fn counting_respects_mask() {
+        let grid = GeoGrid::new(2.0);
+        // Mask excludes Europe entirely; two European disks conflict with
+        // one Australian disk — but the Europe cells are unavailable, so
+        // the best masked cell satisfies only the Australian disk.
+        let mask = Region::from_predicate(&grid, |p| p.lat() < 0.0);
+        let cs = [
+            RingConstraint::disk(GeoPoint::new(50.0, 5.0), 500.0),
+            RingConstraint::disk(GeoPoint::new(50.0, 8.0), 500.0),
+            RingConstraint::disk(GeoPoint::new(-25.0, 135.0), 500.0),
+        ];
+        let r = max_consistent_subset(&cs, &mask);
+        assert_eq!(r.satisfied, 1);
+        assert!(r.region.contains_point(&GeoPoint::new(-25.0, 135.0)));
+    }
+}

@@ -1,0 +1,61 @@
+//! The input record every geolocation algorithm consumes.
+
+use atlas::CalibrationSet;
+use geokit::GeoPoint;
+
+/// One landmark observation: where the landmark is, the measured one-way
+/// travel time to it, and the landmark's delay–distance calibration data.
+///
+/// Algorithms see nothing else — in particular they never see the
+/// target's true location or the raw network — which keeps the evaluation
+/// honest: the same `Observation`s drive every algorithm under test.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// Landmark location (documented, trusted — §4: anchor locations are
+    /// accurate).
+    pub landmark: GeoPoint,
+    /// One-way travel time in ms (RTT/2 after any proxy correction).
+    pub one_way_ms: f64,
+    /// The landmark's delay–distance calibration scatter (from the
+    /// anchor mesh; probes inherit their nearest anchor's set).
+    pub calibration: CalibrationSet,
+}
+
+impl Observation {
+    /// Construct, validating the delay.
+    ///
+    /// # Panics
+    /// Panics on a non-finite or negative one-way time.
+    pub fn new(landmark: GeoPoint, one_way_ms: f64, calibration: CalibrationSet) -> Observation {
+        assert!(
+            one_way_ms.is_finite() && one_way_ms >= 0.0,
+            "bad one-way time {one_way_ms}"
+        );
+        Observation {
+            landmark,
+            one_way_ms,
+            calibration,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructs() {
+        let o = Observation::new(
+            GeoPoint::new(50.0, 8.0),
+            12.5,
+            CalibrationSet::from_points(vec![(100.0, 1.0)]),
+        );
+        assert_eq!(o.one_way_ms, 12.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad one-way time")]
+    fn rejects_negative_delay() {
+        Observation::new(GeoPoint::new(0.0, 0.0), -1.0, CalibrationSet::default());
+    }
+}

@@ -1,0 +1,457 @@
+//! The two-phase measurement procedure (§4.1).
+//!
+//! Measuring all ~250 anchors takes minutes and most of them contribute
+//! nothing (far landmarks are rarely effective, §5.2), so the paper
+//! first pins down the *continent* with three anchors per continent,
+//! then measures 25 more randomly chosen landmarks on that continent.
+//! Random selection spreads measurement load across the constellation.
+
+use crate::observation::Observation;
+use crate::proxy::ProxyContext;
+use atlas::{LandmarkServer, RttSample, WebTool};
+use netsim::{Network, NodeId};
+use rand::rngs::StdRng;
+use rand::Rng;
+use worldmap::Continent;
+
+/// Something that can measure an RTT to a landmark on behalf of the
+/// geolocation engine. Implementations: a direct CLI client, a Web-tool
+/// client, a through-proxy client.
+pub trait RttProber {
+    /// One corrected RTT measurement to `landmark`, ms, or `None` if the
+    /// landmark was unreachable/filtered.
+    fn probe(&mut self, network: &mut Network, landmark: NodeId) -> Option<f64>;
+}
+
+/// Direct measurement with the CLI tool: min of `attempts` TCP connects.
+#[derive(Debug, Clone, Copy)]
+pub struct CliProber {
+    /// Measuring host.
+    pub client: NodeId,
+    /// Connect attempts per landmark (minimum taken).
+    pub attempts: usize,
+}
+
+impl RttProber for CliProber {
+    fn probe(&mut self, network: &mut Network, landmark: NodeId) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for _ in 0..self.attempts {
+            if let Some(d) = network.tcp_connect_rtt(self.client, landmark, 80) {
+                let ms = d.as_ms();
+                best = Some(best.map_or(ms, |b: f64| b.min(ms)));
+            }
+        }
+        best
+    }
+}
+
+/// Web-tool measurement: min of `attempts` fetch-failure timings, with
+/// the 1-vs-2-round-trip ambiguity and OS noise baked in.
+pub struct WebProber {
+    /// Measuring host (the volunteer's machine).
+    pub client: NodeId,
+    /// The browser/OS profile.
+    pub tool: WebTool,
+    /// Fetches per landmark (minimum taken).
+    pub attempts: usize,
+    /// Noise RNG.
+    pub rng: StdRng,
+}
+
+impl RttProber for WebProber {
+    fn probe(&mut self, network: &mut Network, landmark: NodeId) -> Option<f64> {
+        let mut best: Option<RttSample> = None;
+        for _ in 0..self.attempts {
+            if let Some(s) = self.tool.measure(network, self.client, landmark, &mut self.rng)
+            {
+                best = Some(match best {
+                    None => s,
+                    Some(b) if s.rtt_ms < b.rtt_ms => s,
+                    Some(b) => b,
+                });
+            }
+        }
+        best.map(|s| s.rtt_ms)
+    }
+}
+
+/// Through-proxy measurement with η correction (§5.3).
+#[derive(Debug, Clone, Copy)]
+pub struct ProxyProber {
+    /// The established tunnel context.
+    pub ctx: ProxyContext,
+    /// Tunnel connects per landmark (minimum taken).
+    pub attempts: usize,
+}
+
+impl RttProber for ProxyProber {
+    fn probe(&mut self, network: &mut Network, landmark: NodeId) -> Option<f64> {
+        self.ctx.measure_landmark(network, landmark, self.attempts)
+    }
+}
+
+/// Result of a two-phase measurement run.
+#[derive(Debug)]
+pub struct TwoPhaseResult {
+    /// The continent inferred in phase 1.
+    pub continent: Continent,
+    /// Observations from the winning continent's phase-1 anchors plus
+    /// the phase-2 landmarks.
+    pub observations: Vec<Observation>,
+}
+
+/// Run the two-phase procedure.
+///
+/// Returns `None` when phase 1 yields no usable measurement at all (a
+/// completely unreachable target).
+pub fn run_two_phase<P: RttProber, R: Rng + ?Sized>(
+    network: &mut Network,
+    server: &LandmarkServer<'_>,
+    prober: &mut P,
+    rng: &mut R,
+) -> Option<TwoPhaseResult> {
+    let landmarks = server.constellation().landmarks();
+
+    // Phase 1: three anchors per continent; fastest answer wins.
+    let mut best: Option<(f64, Continent)> = None;
+    let mut phase1_obs: Vec<(usize, f64)> = Vec::new();
+    for id in server.phase1_landmarks() {
+        let Some(rtt) = prober.probe(network, landmarks[id].node) else {
+            continue;
+        };
+        let continent = server
+            .atlas()
+            .country(landmarks[id].country)
+            .continent();
+        phase1_obs.push((id, rtt));
+        if best.is_none_or(|(b, _)| rtt < b) {
+            best = Some((rtt, continent));
+        }
+    }
+    let (_, continent) = best?;
+
+    // Phase 2: 25 random landmarks on that continent (anchors + probes).
+    let mut observations = Vec::new();
+    let mut seen: Vec<usize> = Vec::new();
+    for (id, rtt) in phase1_obs {
+        let c = server.atlas().country(landmarks[id].country).continent();
+        if c == continent {
+            observations.push(make_observation(server, id, rtt));
+            seen.push(id);
+        }
+    }
+    for id in server.phase2_landmarks(continent, rng) {
+        if seen.contains(&id) {
+            continue;
+        }
+        if let Some(rtt) = prober.probe(network, landmarks[id].node) {
+            observations.push(make_observation(server, id, rtt));
+        }
+    }
+    Some(TwoPhaseResult {
+        continent,
+        observations,
+    })
+}
+
+fn make_observation(server: &LandmarkServer<'_>, id: usize, rtt_ms: f64) -> Observation {
+    let lm = &server.constellation().landmarks()[id];
+    Observation::new(lm.location, rtt_ms / 2.0, server.calibration_for(id).clone())
+}
+
+/// Iterative refinement (§8.1): after the initial two-phase run, keep
+/// adding the unmeasured landmarks closest to the current prediction's
+/// centroid — the ones most likely to be *effective* (§5.2) — re-locating
+/// after each batch, until the region stops shrinking or the landmark
+/// budget is spent.
+///
+/// This is the paper's proposed fix for the noisy per-measurement
+/// variation of Fig. 16: "additional probes and anchors are included in
+/// the measurement as necessary to reduce the size of the predicted
+/// region."
+pub struct RefinementConfig {
+    /// Landmarks added per refinement round.
+    pub batch: usize,
+    /// Maximum refinement rounds.
+    pub max_rounds: usize,
+    /// Stop when a round shrinks the region by less than this fraction.
+    pub min_shrink: f64,
+}
+
+impl Default for RefinementConfig {
+    fn default() -> Self {
+        RefinementConfig {
+            batch: 10,
+            max_rounds: 4,
+            min_shrink: 0.05,
+        }
+    }
+}
+
+/// Result of an iteratively refined measurement.
+pub struct RefinedResult {
+    /// The two-phase result, extended with the refinement observations.
+    pub observations: Vec<Observation>,
+    /// Continent from phase 1.
+    pub continent: Continent,
+    /// Final prediction region.
+    pub region: geokit::Region,
+    /// Region area after each locate (index 0 = pre-refinement).
+    pub area_history: Vec<f64>,
+}
+
+/// Run two-phase measurement followed by iterative refinement using the
+/// given locator.
+pub fn run_refined<P: RttProber, R: Rng + ?Sized>(
+    network: &mut Network,
+    server: &LandmarkServer<'_>,
+    prober: &mut P,
+    locator: &dyn crate::Geolocator,
+    mask: &geokit::Region,
+    config: &RefinementConfig,
+    rng: &mut R,
+) -> Option<RefinedResult> {
+    let two_phase = run_two_phase(network, server, prober, rng)?;
+    let TwoPhaseResult {
+        continent,
+        mut observations,
+    } = two_phase;
+    let landmarks = server.constellation().landmarks();
+
+    let mut region = locator.locate(&observations, mask).region;
+    let mut area_history = vec![region.area_km2()];
+
+    // Track which landmarks have been used (by location identity).
+    let mut used: Vec<bool> = vec![false; landmarks.len()];
+    for obs in &observations {
+        for (i, lm) in landmarks.iter().enumerate() {
+            if lm.location == obs.landmark {
+                used[i] = true;
+            }
+        }
+    }
+
+    for _ in 0..config.max_rounds {
+        let Some(centroid) = region.centroid() else {
+            break;
+        };
+        // Closest unused landmarks on the predicted continent (plus any
+        // others if the continent pool runs dry).
+        let mut candidates: Vec<(f64, usize)> = server
+            .continent_landmarks(continent)
+            .iter()
+            .copied()
+            .filter(|&id| !used[id])
+            .map(|id| (landmarks[id].location.distance_km(&centroid), id))
+            .collect();
+        candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        if candidates.is_empty() {
+            break;
+        }
+        let mut measured_any = false;
+        for &(_, id) in candidates.iter().take(config.batch) {
+            used[id] = true;
+            if let Some(rtt) = prober.probe(network, landmarks[id].node) {
+                observations.push(make_observation(server, id, rtt));
+                measured_any = true;
+            }
+        }
+        if !measured_any {
+            break;
+        }
+        let new_region = locator.locate(&observations, mask).region;
+        let old_area = region.area_km2();
+        let new_area = new_region.area_km2();
+        region = new_region;
+        area_history.push(new_area);
+        if old_area <= 0.0 || (old_area - new_area) / old_area < config.min_shrink {
+            break;
+        }
+    }
+
+    Some(RefinedResult {
+        observations,
+        continent,
+        region,
+        area_history,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas::{CalibrationDb, Constellation, ConstellationConfig};
+    use geokit::GeoGrid;
+    use netsim::{FilterPolicy, WorldNet, WorldNetConfig};
+    use rand::SeedableRng;
+    use std::sync::{Arc, Mutex, OnceLock};
+    use worldmap::WorldAtlas;
+
+    struct Fixture {
+        world: WorldNet,
+        constellation: Constellation,
+        calibration: CalibrationDb,
+    }
+
+    fn fixture() -> &'static Mutex<Fixture> {
+        static S: OnceLock<Mutex<Fixture>> = OnceLock::new();
+        S.get_or_init(|| {
+            let atlas = Arc::new(WorldAtlas::new(GeoGrid::new(1.0)));
+            let mut world = WorldNet::build(atlas, WorldNetConfig::default());
+            let constellation =
+                Constellation::place(&mut world, &ConstellationConfig::small(21));
+            let calibration = CalibrationDb::collect(world.network_mut(), &constellation, 8);
+            Mutex::new(Fixture {
+                world,
+                constellation,
+                calibration,
+            })
+        })
+    }
+
+    #[test]
+    fn continent_guess_is_correct_for_european_host() {
+        let mut f = fixture().lock().unwrap();
+        let Fixture {
+            world,
+            constellation,
+            calibration,
+        } = &mut *f;
+        let host = world.attach_host(
+            geokit::GeoPoint::new(48.2, 11.5), // Munich
+            FilterPolicy::default(),
+        );
+        let atlas = Arc::clone(world.atlas());
+        let server = LandmarkServer::new(constellation, calibration, &atlas);
+        let mut prober = CliProber {
+            client: host,
+            attempts: 3,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let result =
+            run_two_phase(world.network_mut(), &server, &mut prober, &mut rng).unwrap();
+        assert_eq!(result.continent, Continent::Europe);
+        assert!(
+            result.observations.len() >= 15,
+            "only {} observations",
+            result.observations.len()
+        );
+    }
+
+    #[test]
+    fn continent_guess_is_correct_for_american_host() {
+        let mut f = fixture().lock().unwrap();
+        let Fixture {
+            world,
+            constellation,
+            calibration,
+        } = &mut *f;
+        let host = world.attach_host(
+            geokit::GeoPoint::new(41.8, -87.7), // Chicago
+            FilterPolicy::default(),
+        );
+        let atlas = Arc::clone(world.atlas());
+        let server = LandmarkServer::new(constellation, calibration, &atlas);
+        let mut prober = CliProber {
+            client: host,
+            attempts: 3,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let result =
+            run_two_phase(world.network_mut(), &server, &mut prober, &mut rng).unwrap();
+        assert_eq!(result.continent, Continent::NorthAmerica);
+    }
+
+    #[test]
+    fn observations_are_one_way_times() {
+        let mut f = fixture().lock().unwrap();
+        let Fixture {
+            world,
+            constellation,
+            calibration,
+        } = &mut *f;
+        let host = world.attach_host(geokit::GeoPoint::new(52.5, 13.4), FilterPolicy::default());
+        let atlas = Arc::clone(world.atlas());
+        let server = LandmarkServer::new(constellation, calibration, &atlas);
+        let mut prober = CliProber {
+            client: host,
+            attempts: 2,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let result =
+            run_two_phase(world.network_mut(), &server, &mut prober, &mut rng).unwrap();
+        for obs in &result.observations {
+            // One-way times are physically bounded below by distance/200,
+            // minus the coarse tolerance of the berlin attachment.
+            assert!(obs.one_way_ms > 0.0);
+            assert!(!obs.calibration.is_empty());
+        }
+    }
+
+    #[test]
+    fn refinement_never_grows_the_final_region_much() {
+        let mut f = fixture().lock().unwrap();
+        let Fixture {
+            world,
+            constellation,
+            calibration,
+        } = &mut *f;
+        let host = world.attach_host(
+            geokit::GeoPoint::new(48.85, 2.35), // Paris
+            FilterPolicy::default(),
+        );
+        let atlas = Arc::clone(world.atlas());
+        let server = LandmarkServer::new(constellation, calibration, &atlas);
+        let mask = atlas.plausibility_mask().clone();
+        let locator = crate::algorithms::CbgPlusPlus;
+        let mut prober = CliProber {
+            client: host,
+            attempts: 2,
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        let refined = run_refined(
+            world.network_mut(),
+            &server,
+            &mut prober,
+            &locator,
+            &mask,
+            &RefinementConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(!refined.region.is_empty());
+        assert!(refined.area_history.len() >= 2, "no refinement happened");
+        let first = refined.area_history[0];
+        let last = *refined.area_history.last().unwrap();
+        assert!(
+            last <= first * 1.05,
+            "refinement grew the region: {first} → {last}"
+        );
+        // The truth stays covered.
+        assert!(refined
+            .region
+            .contains_point(&geokit::GeoPoint::new(48.85, 2.35)));
+    }
+
+    #[test]
+    fn unreachable_target_returns_none() {
+        let mut f = fixture().lock().unwrap();
+        let Fixture {
+            world,
+            constellation,
+            calibration,
+        } = &mut *f;
+        let host = world.attach_host(geokit::GeoPoint::new(48.0, 2.0), FilterPolicy::default());
+        let atlas = Arc::clone(world.atlas());
+        let server = LandmarkServer::new(constellation, calibration, &atlas);
+        world.network_mut().faults_mut().set_drop_chance(1.0);
+        let mut prober = CliProber {
+            client: host,
+            attempts: 2,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let result = run_two_phase(world.network_mut(), &server, &mut prober, &mut rng);
+        assert!(result.is_none());
+        world.network_mut().faults_mut().set_drop_chance(0.0);
+    }
+}

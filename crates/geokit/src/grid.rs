@@ -1,0 +1,307 @@
+//! The global equal-angle grid that all prediction regions live on.
+//!
+//! Multilateration needs set algebra over regions of the Earth's surface:
+//! intersect this disk with that disk, mask out the oceans, measure the
+//! area that remains, ask which countries it touches. Doing this with exact
+//! spherical polygons is an enormous amount of computational-geometry
+//! machinery for no benefit at the paper's scales (regions of interest are
+//! ≥ 1000 km²). Instead we rasterize everything onto a fixed global grid of
+//! `resolution_deg` × `resolution_deg` cells and represent regions as
+//! bitsets ([`crate::Region`]).
+//!
+//! A cell is considered part of a shape iff its **centre** is inside the
+//! shape. At the default 0.25° resolution a cell is ≤ 28 km across, well
+//! below the uncertainty of any delay-derived distance bound.
+
+use crate::point::GeoPoint;
+use crate::shapes::SphericalCap;
+use crate::EARTH_RADIUS_KM;
+use std::sync::Arc;
+
+/// Identifier of one grid cell: `row * cols + col`, row 0 at 90°S.
+pub type CellId = u32;
+
+/// A global equal-angle latitude/longitude grid.
+///
+/// Construct once (cheap) and share via [`Arc`]; every [`crate::Region`]
+/// holds an `Arc<GeoGrid>` so regions know their own geometry and can refuse
+/// set operations across mismatched grids.
+#[derive(Debug)]
+pub struct GeoGrid {
+    resolution_deg: f64,
+    rows: u32,
+    cols: u32,
+    /// Spherical area of one cell in each latitude row, km².
+    row_area_km2: Vec<f64>,
+}
+
+impl GeoGrid {
+    /// Build a grid with the given cell edge length in degrees.
+    ///
+    /// The resolution must divide 180 evenly (0.25, 0.5, 1.0, 2.0, …) so the
+    /// grid tiles the sphere exactly.
+    ///
+    /// # Panics
+    /// Panics if `resolution_deg` is not in `(0, 30]` or does not evenly
+    /// divide 180.
+    pub fn new(resolution_deg: f64) -> Arc<GeoGrid> {
+        assert!(
+            resolution_deg > 0.0 && resolution_deg <= 30.0,
+            "grid resolution must be in (0, 30] degrees, got {resolution_deg}"
+        );
+        let rows_f = 180.0 / resolution_deg;
+        assert!(
+            (rows_f - rows_f.round()).abs() < 1e-9,
+            "grid resolution {resolution_deg}° must evenly divide 180°"
+        );
+        let rows = rows_f.round() as u32;
+        let cols = rows * 2;
+        let mut row_area_km2 = Vec::with_capacity(rows as usize);
+        let dlon_rad = resolution_deg.to_radians();
+        for r in 0..rows {
+            let south = (-90.0 + f64::from(r) * resolution_deg).to_radians();
+            let north = (-90.0 + f64::from(r + 1) * resolution_deg).to_radians();
+            let area =
+                EARTH_RADIUS_KM * EARTH_RADIUS_KM * dlon_rad * (north.sin() - south.sin());
+            row_area_km2.push(area);
+        }
+        Arc::new(GeoGrid {
+            resolution_deg,
+            rows,
+            cols,
+            row_area_km2,
+        })
+    }
+
+    /// The default grid used throughout the project: 0.25° (cells ≤ 28 km).
+    pub fn default_grid() -> Arc<GeoGrid> {
+        GeoGrid::new(0.25)
+    }
+
+    /// Cell edge length in degrees.
+    #[inline]
+    pub fn resolution_deg(&self) -> f64 {
+        self.resolution_deg
+    }
+
+    /// Number of latitude rows.
+    #[inline]
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of longitude columns.
+    #[inline]
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn num_cells(&self) -> u32 {
+        self.rows * self.cols
+    }
+
+    /// The cell containing a point.
+    pub fn cell_of(&self, p: &GeoPoint) -> CellId {
+        let row = (((p.lat() + 90.0) / self.resolution_deg) as u32).min(self.rows - 1);
+        let col = (((p.lon() + 180.0) / self.resolution_deg) as u32).min(self.cols - 1);
+        row * self.cols + col
+    }
+
+    /// Decompose a cell id into (row, col).
+    #[inline]
+    pub fn row_col(&self, cell: CellId) -> (u32, u32) {
+        (cell / self.cols, cell % self.cols)
+    }
+
+    /// Centre point of a cell.
+    pub fn center(&self, cell: CellId) -> GeoPoint {
+        let (row, col) = self.row_col(cell);
+        GeoPoint::new(
+            -90.0 + (f64::from(row) + 0.5) * self.resolution_deg,
+            -180.0 + (f64::from(col) + 0.5) * self.resolution_deg,
+        )
+    }
+
+    /// Spherical area of a cell in km².
+    #[inline]
+    pub fn cell_area_km2(&self, cell: CellId) -> f64 {
+        self.row_area_km2[(cell / self.cols) as usize]
+    }
+
+    /// Invoke `f(cell)` for every cell whose centre lies inside the cap.
+    ///
+    /// Runs in time proportional to the number of rows the cap's latitude
+    /// band touches plus the number of cells visited: for each row, the
+    /// in-cap columns form one (possibly antimeridian-wrapping) contiguous
+    /// run that is computed in closed form from the spherical law of
+    /// cosines, not by scanning all columns.
+    pub fn for_each_cell_in_cap<F: FnMut(CellId)>(&self, cap: &SphericalCap, mut f: F) {
+        let angular_r = (cap.radius_km / EARTH_RADIUS_KM).min(std::f64::consts::PI);
+        let cos_r = angular_r.cos();
+        let lat_c = cap.center.lat().to_radians();
+        let (sin_lat_c, cos_lat_c) = (lat_c.sin(), lat_c.cos());
+
+        let dlat = angular_r.to_degrees();
+        let row_lo = (((cap.center.lat() - dlat + 90.0) / self.resolution_deg).floor()
+            .max(0.0)) as u32;
+        let row_hi = (((cap.center.lat() + dlat + 90.0) / self.resolution_deg).ceil())
+            .min(f64::from(self.rows)) as u32;
+
+        for row in row_lo..row_hi {
+            let lat = (-90.0 + (f64::from(row) + 0.5) * self.resolution_deg).to_radians();
+            let (sin_lat, cos_lat) = (lat.sin(), lat.cos());
+            // cos(d) = sin φc sin φ + cos φc cos φ cos Δλ  ⇒
+            // cos Δλ = (cos r − sin φc sin φ) / (cos φc cos φ)
+            let denom = cos_lat_c * cos_lat;
+            let dlon_max_deg = if denom.abs() < 1e-12 {
+                // Either the cap centre or this row is at a pole: the row is
+                // entirely in or out, decided by the latitude difference.
+                if sin_lat_c * sin_lat >= cos_r {
+                    180.0
+                } else {
+                    continue;
+                }
+            } else {
+                let cos_dlon = (cos_r - sin_lat_c * sin_lat) / denom;
+                if cos_dlon > 1.0 {
+                    continue; // row outside the cap
+                } else if cos_dlon < -1.0 {
+                    180.0 // entire row inside the cap
+                } else {
+                    cos_dlon.acos().to_degrees()
+                }
+            };
+
+            if dlon_max_deg >= 180.0 - 1e-9 {
+                // Whole row.
+                let base = row * self.cols;
+                for col in 0..self.cols {
+                    f(base + col);
+                }
+                continue;
+            }
+
+            // Columns whose centre longitude is within ±dlon_max of the cap
+            // centre longitude. Work in "column space" to handle wrap.
+            let center_col =
+                (cap.center.lon() + 180.0) / self.resolution_deg - 0.5;
+            let half_cols = dlon_max_deg / self.resolution_deg;
+            let lo = (center_col - half_cols).ceil() as i64;
+            let hi = (center_col + half_cols).floor() as i64;
+            if lo > hi {
+                continue;
+            }
+            let base = row * self.cols;
+            let n = i64::from(self.cols);
+            for c in lo..=hi {
+                let col = c.rem_euclid(n) as u32;
+                f(base + col);
+            }
+        }
+    }
+
+    /// Iterate over all cell ids.
+    pub fn all_cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        0..self.num_cells()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_dimensions() {
+        let g = GeoGrid::new(1.0);
+        assert_eq!(g.rows(), 180);
+        assert_eq!(g.cols(), 360);
+        assert_eq!(g.num_cells(), 64800);
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly divide")]
+    fn non_dividing_resolution_panics() {
+        GeoGrid::new(0.7);
+    }
+
+    #[test]
+    fn cell_of_center_round_trip() {
+        let g = GeoGrid::new(0.5);
+        for (lat, lon) in [(0.0, 0.0), (51.3, -0.4), (-89.9, 179.9), (89.9, -180.0)] {
+            let p = GeoPoint::new(lat, lon);
+            let cell = g.cell_of(&p);
+            let c = g.center(cell);
+            assert!((c.lat() - lat).abs() <= 0.25 + 1e-9, "{lat} vs {}", c.lat());
+            assert!(
+                crate::angle::lon_delta(c.lon(), lon) <= 0.25 + 1e-9,
+                "{lon} vs {}",
+                c.lon()
+            );
+            // The centre of a cell must map back to the same cell.
+            assert_eq!(g.cell_of(&c), cell);
+        }
+    }
+
+    #[test]
+    fn total_area_is_sphere() {
+        let g = GeoGrid::new(2.0);
+        let total: f64 = g.all_cells().map(|c| g.cell_area_km2(c)).sum();
+        let sphere = 4.0 * std::f64::consts::PI * EARTH_RADIUS_KM * EARTH_RADIUS_KM;
+        assert!((total - sphere).abs() / sphere < 1e-9);
+    }
+
+    #[test]
+    fn cap_rasterization_matches_brute_force() {
+        let g = GeoGrid::new(2.0);
+        for (lat, lon, r) in [
+            (50.0, 10.0, 800.0),
+            (0.0, 0.0, 3000.0),
+            (-40.0, 175.0, 1500.0), // wraps the antimeridian
+            (85.0, 0.0, 1200.0),    // polar
+        ] {
+            let cap = SphericalCap::new(GeoPoint::new(lat, lon), r);
+            let mut fast = Vec::new();
+            g.for_each_cell_in_cap(&cap, |c| fast.push(c));
+            fast.sort_unstable();
+            let brute: Vec<CellId> = g
+                .all_cells()
+                .filter(|&c| cap.contains(&g.center(c)))
+                .collect();
+            assert_eq!(fast, brute, "cap at ({lat},{lon}) r={r}");
+        }
+    }
+
+    #[test]
+    fn cap_rasterized_area_approximates_cap_area() {
+        let g = GeoGrid::new(0.5);
+        let cap = SphericalCap::new(GeoPoint::new(30.0, 40.0), 1000.0);
+        let mut area = 0.0;
+        g.for_each_cell_in_cap(&cap, |c| area += g.cell_area_km2(c));
+        let exact = cap.area_km2();
+        assert!(
+            (area - exact).abs() / exact < 0.02,
+            "raster {area} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn whole_earth_cap_covers_all_cells() {
+        let g = GeoGrid::new(5.0);
+        let cap = SphericalCap::new(GeoPoint::new(12.0, 34.0), crate::MAX_GC_DISTANCE_KM);
+        let mut n = 0u32;
+        g.for_each_cell_in_cap(&cap, |_| n += 1);
+        assert_eq!(n, g.num_cells());
+    }
+
+    #[test]
+    fn zero_radius_cap_covers_at_most_one_cell() {
+        let g = GeoGrid::new(1.0);
+        let cap = SphericalCap::new(GeoPoint::new(10.5, 20.5), 0.0);
+        let mut cells = Vec::new();
+        g.for_each_cell_in_cap(&cap, |c| cells.push(c));
+        // The cap centre happens to be exactly a cell centre here.
+        assert_eq!(cells, vec![g.cell_of(&GeoPoint::new(10.5, 20.5))]);
+    }
+}

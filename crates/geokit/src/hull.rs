@@ -1,0 +1,190 @@
+//! Lower convex hulls of planar point sets.
+//!
+//! (Quasi-)Octant models the fastest feasible delay for a given distance by
+//! the **lower** boundary of the convex hull of the (distance, delay)
+//! calibration scatter (paper §3.2). This module provides that hull and a
+//! piecewise-linear evaluator over it.
+
+/// Compute the lower convex hull of a point set.
+///
+/// Returns hull vertices sorted by ascending x. Every input point lies on or
+/// above the polyline through these vertices. Duplicate x values keep only
+/// the lowest y. Fewer than one point returns an empty vec.
+pub fn lower_hull(points: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let mut pts: Vec<(f64, f64)> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("NaN x in hull input")
+            .then(a.1.partial_cmp(&b.1).expect("NaN y in hull input"))
+    });
+    pts.dedup_by(|b, a| {
+        if (a.0 - b.0).abs() < 1e-12 {
+            // Same x: keep the lower y (first after sort).
+            true
+        } else {
+            false
+        }
+    });
+    if pts.len() <= 2 {
+        return pts;
+    }
+    let mut hull: Vec<(f64, f64)> = Vec::with_capacity(pts.len());
+    for p in pts {
+        while hull.len() >= 2 {
+            let a = hull[hull.len() - 2];
+            let b = hull[hull.len() - 1];
+            // Keep b only if it is strictly below the a→p chord (a right
+            // turn for the lower hull); cross ≤ 0 means b is on or above.
+            let cross = (b.0 - a.0) * (p.1 - a.1) - (b.1 - a.1) * (p.0 - a.0);
+            if cross <= 0.0 {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(p);
+    }
+    hull
+}
+
+/// A piecewise-linear function through hull vertices, clamped flat beyond
+/// the first and last vertex.
+#[derive(Debug, Clone)]
+pub struct PiecewiseLinear {
+    vertices: Vec<(f64, f64)>,
+}
+
+impl PiecewiseLinear {
+    /// Build from vertices sorted by ascending x (as returned by
+    /// [`lower_hull`]).
+    ///
+    /// # Panics
+    /// Panics if empty or not sorted by x.
+    pub fn new(vertices: Vec<(f64, f64)>) -> Self {
+        assert!(!vertices.is_empty(), "piecewise-linear needs ≥ 1 vertex");
+        assert!(
+            vertices.windows(2).all(|w| w[0].0 <= w[1].0),
+            "piecewise-linear vertices must be sorted by x"
+        );
+        PiecewiseLinear { vertices }
+    }
+
+    /// Vertices of the polyline.
+    pub fn vertices(&self) -> &[(f64, f64)] {
+        &self.vertices
+    }
+
+    /// Evaluate at `x`: linear interpolation between bracketing vertices,
+    /// constant extrapolation outside the vertex range.
+    pub fn eval(&self, x: f64) -> f64 {
+        let v = &self.vertices;
+        if x <= v[0].0 {
+            return v[0].1;
+        }
+        if x >= v[v.len() - 1].0 {
+            return v[v.len() - 1].1;
+        }
+        // Binary search for the segment containing x.
+        let idx = v.partition_point(|p| p.0 <= x);
+        let (x0, y0) = v[idx - 1];
+        let (x1, y1) = v[idx];
+        if (x1 - x0).abs() < 1e-12 {
+            return y0.min(y1);
+        }
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// The x of the last vertex (the hull's reach; beyond it Octant switches
+    /// to fixed empirical speeds).
+    pub fn max_x(&self) -> f64 {
+        self.vertices[self.vertices.len() - 1].0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hull_of_v_shape() {
+        let pts = [(0.0, 2.0), (1.0, 0.0), (2.0, 2.0)];
+        let h = lower_hull(&pts);
+        assert_eq!(h, vec![(0.0, 2.0), (1.0, 0.0), (2.0, 2.0)]);
+    }
+
+    #[test]
+    fn hull_drops_interior_points() {
+        let pts = [(0.0, 0.0), (1.0, 5.0), (2.0, 1.0), (3.0, 4.0), (4.0, 0.5)];
+        let h = lower_hull(&pts);
+        // Points above the 0→2→4 chain are dropped... check all inputs on/above.
+        for &(x, y) in &pts {
+            let pl = PiecewiseLinear::new(h.clone());
+            assert!(y >= pl.eval(x) - 1e-9, "({x},{y}) below hull");
+        }
+        assert!(h.len() < pts.len());
+    }
+
+    #[test]
+    fn hull_all_points_above() {
+        // Pseudo-random-ish deterministic scatter.
+        let pts: Vec<(f64, f64)> = (0..200)
+            .map(|i| {
+                let x = f64::from(i % 50) * 3.0;
+                let y = x * 0.01 + f64::from((i * 37) % 17);
+                (x, y)
+            })
+            .collect();
+        let h = lower_hull(&pts);
+        let pl = PiecewiseLinear::new(h);
+        for &(x, y) in &pts {
+            assert!(y >= pl.eval(x) - 1e-9, "({x},{y}) below hull");
+        }
+    }
+
+    #[test]
+    fn hull_duplicate_x_keeps_lowest() {
+        let pts = [(1.0, 5.0), (1.0, 2.0), (3.0, 1.0)];
+        let h = lower_hull(&pts);
+        assert_eq!(h, vec![(1.0, 2.0), (3.0, 1.0)]);
+    }
+
+    #[test]
+    fn hull_is_convex() {
+        let pts: Vec<(f64, f64)> = (0..100)
+            .map(|i| (f64::from(i), ((i * 7919) % 101) as f64))
+            .collect();
+        let h = lower_hull(&pts);
+        // Slopes along the lower hull must be non-decreasing.
+        let slopes: Vec<f64> = h
+            .windows(2)
+            .map(|w| (w[1].1 - w[0].1) / (w[1].0 - w[0].0))
+            .collect();
+        assert!(
+            slopes.windows(2).all(|s| s[0] <= s[1] + 1e-9),
+            "slopes not convex: {slopes:?}"
+        );
+    }
+
+    #[test]
+    fn piecewise_eval_clamps_ends() {
+        let pl = PiecewiseLinear::new(vec![(1.0, 10.0), (3.0, 20.0)]);
+        assert_eq!(pl.eval(0.0), 10.0);
+        assert_eq!(pl.eval(4.0), 20.0);
+        assert!((pl.eval(2.0) - 15.0).abs() < 1e-12);
+        assert_eq!(pl.max_x(), 3.0);
+    }
+
+    #[test]
+    fn singleton_hull() {
+        let h = lower_hull(&[(2.0, 3.0)]);
+        assert_eq!(h, vec![(2.0, 3.0)]);
+        let pl = PiecewiseLinear::new(h);
+        assert_eq!(pl.eval(-10.0), 3.0);
+        assert_eq!(pl.eval(10.0), 3.0);
+    }
+
+    #[test]
+    fn empty_input_empty_hull() {
+        assert!(lower_hull(&[]).is_empty());
+    }
+}

@@ -1,0 +1,423 @@
+//! Bitset regions over the global grid, with the set algebra and geometry
+//! queries multilateration needs.
+//!
+//! A [`Region`] is the set of grid cells whose centres satisfy some
+//! predicate — inside a disk, inside a country, on land. All the paper's
+//! prediction regions (CBG disks intersections, Octant rings, Spotter
+//! credible sets, CBG++ output) are `Region`s, so "does the prediction
+//! overlap the claimed country" is a single bitwise AND.
+
+use crate::grid::{CellId, GeoGrid};
+use crate::point::GeoPoint;
+use crate::shapes::SphericalCap;
+use std::sync::Arc;
+
+/// A set of grid cells on a shared [`GeoGrid`].
+#[derive(Clone)]
+pub struct Region {
+    grid: Arc<GeoGrid>,
+    bits: Vec<u64>,
+    /// Cached population count; kept in sync by all mutating operations.
+    count: u32,
+}
+
+impl std::fmt::Debug for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Region")
+            .field("resolution_deg", &self.grid.resolution_deg())
+            .field("cells", &self.count)
+            .field("area_km2", &self.area_km2())
+            .finish()
+    }
+}
+
+impl Region {
+    /// The empty region on `grid`.
+    pub fn empty(grid: Arc<GeoGrid>) -> Region {
+        let words = (grid.num_cells() as usize).div_ceil(64);
+        Region {
+            grid,
+            bits: vec![0; words],
+            count: 0,
+        }
+    }
+
+    /// The full region (every cell) on `grid`.
+    pub fn full(grid: Arc<GeoGrid>) -> Region {
+        let n = grid.num_cells();
+        let mut r = Region::empty(grid);
+        for cell in 0..n {
+            r.insert(cell);
+        }
+        r
+    }
+
+    /// Region of all cells whose centre lies within the cap.
+    pub fn from_cap(grid: &Arc<GeoGrid>, cap: &SphericalCap) -> Region {
+        let mut r = Region::empty(Arc::clone(grid));
+        grid.for_each_cell_in_cap(cap, |c| r.insert(c));
+        r
+    }
+
+    /// Region of all cells whose centre is between `min_km` and `max_km`
+    /// (inclusive) of `center`: an annulus, as used by ring multilateration.
+    pub fn from_ring(
+        grid: &Arc<GeoGrid>,
+        center: GeoPoint,
+        min_km: f64,
+        max_km: f64,
+    ) -> Region {
+        assert!(
+            min_km <= max_km,
+            "ring min {min_km} km exceeds max {max_km} km"
+        );
+        let outer = SphericalCap::new(center, max_km);
+        let mut r = Region::empty(Arc::clone(grid));
+        grid.for_each_cell_in_cap(&outer, |c| {
+            if center.distance_km(&grid.center(c)) >= min_km {
+                r.insert(c);
+            }
+        });
+        r
+    }
+
+    /// Region of all cells whose centre satisfies `pred`.
+    pub fn from_predicate<F: FnMut(&GeoPoint) -> bool>(
+        grid: &Arc<GeoGrid>,
+        mut pred: F,
+    ) -> Region {
+        let mut r = Region::empty(Arc::clone(grid));
+        for cell in grid.all_cells() {
+            if pred(&grid.center(cell)) {
+                r.insert(cell);
+            }
+        }
+        r
+    }
+
+    /// The grid this region lives on.
+    pub fn grid(&self) -> &Arc<GeoGrid> {
+        &self.grid
+    }
+
+    /// Insert one cell. Idempotent.
+    pub fn insert(&mut self, cell: CellId) {
+        let (w, b) = (cell as usize / 64, cell as usize % 64);
+        let mask = 1u64 << b;
+        if self.bits[w] & mask == 0 {
+            self.bits[w] |= mask;
+            self.count += 1;
+        }
+    }
+
+    /// Remove one cell. Idempotent.
+    pub fn remove(&mut self, cell: CellId) {
+        let (w, b) = (cell as usize / 64, cell as usize % 64);
+        let mask = 1u64 << b;
+        if self.bits[w] & mask != 0 {
+            self.bits[w] &= !mask;
+            self.count -= 1;
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains_cell(&self, cell: CellId) -> bool {
+        let (w, b) = (cell as usize / 64, cell as usize % 64);
+        self.bits[w] >> b & 1 == 1
+    }
+
+    /// True if the cell containing `p` is in the region.
+    pub fn contains_point(&self, p: &GeoPoint) -> bool {
+        self.contains_cell(self.grid.cell_of(p))
+    }
+
+    /// Number of cells in the region.
+    #[inline]
+    pub fn cell_count(&self) -> u32 {
+        self.count
+    }
+
+    /// True if the region has no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    fn assert_same_grid(&self, other: &Region) {
+        assert!(
+            Arc::ptr_eq(&self.grid, &other.grid)
+                || self.grid.resolution_deg() == other.grid.resolution_deg(),
+            "region set operation across mismatched grids ({}° vs {}°)",
+            self.grid.resolution_deg(),
+            other.grid.resolution_deg()
+        );
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &Region) {
+        self.assert_same_grid(other);
+        let mut count = 0u32;
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a &= *b;
+            count += a.count_ones();
+        }
+        self.count = count;
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &Region) {
+        self.assert_same_grid(other);
+        let mut count = 0u32;
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= *b;
+            count += a.count_ones();
+        }
+        self.count = count;
+    }
+
+    /// In-place set difference (`self \ other`).
+    pub fn subtract(&mut self, other: &Region) {
+        self.assert_same_grid(other);
+        let mut count = 0u32;
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a &= !*b;
+            count += a.count_ones();
+        }
+        self.count = count;
+    }
+
+    /// New region: intersection.
+    pub fn intersection(&self, other: &Region) -> Region {
+        let mut r = self.clone();
+        r.intersect_with(other);
+        r
+    }
+
+    /// New region: union.
+    pub fn union(&self, other: &Region) -> Region {
+        let mut r = self.clone();
+        r.union_with(other);
+        r
+    }
+
+    /// True if the two regions share at least one cell (cheaper than
+    /// materializing the intersection).
+    pub fn intersects(&self, other: &Region) -> bool {
+        self.assert_same_grid(other);
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// True if every cell of `self` is in `other`.
+    pub fn is_subset_of(&self, other: &Region) -> bool {
+        self.assert_same_grid(other);
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterate over member cells in ascending id order.
+    pub fn cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.bits.iter().enumerate().flat_map(|(w, &word)| {
+            let mut word = word;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    None
+                } else {
+                    let b = word.trailing_zeros();
+                    word &= word - 1;
+                    Some((w as u32) * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Total spherical area of the region in km².
+    pub fn area_km2(&self) -> f64 {
+        self.cells().map(|c| self.grid.cell_area_km2(c)).sum()
+    }
+
+    /// Area-weighted centroid, or `None` for an empty region (or the
+    /// pathological case of cells perfectly cancelling, e.g. two antipodal
+    /// cells).
+    pub fn centroid(&self) -> Option<GeoPoint> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut acc = [0.0f64; 3];
+        for cell in self.cells() {
+            let v = self.grid.center(cell).to_unit_vector();
+            let w = self.grid.cell_area_km2(cell);
+            acc[0] += v[0] * w;
+            acc[1] += v[1] * w;
+            acc[2] += v[2] * w;
+        }
+        GeoPoint::from_vector(acc)
+    }
+
+    /// Great-circle distance from `p` to the nearest cell centre of the
+    /// region; 0 if `p`'s cell is in the region. `None` if empty.
+    ///
+    /// This is the paper's Fig. 9 panel A metric ("distance from edge to
+    /// location"): how far outside the predicted region the true location
+    /// lies.
+    pub fn distance_from_km(&self, p: &GeoPoint) -> Option<f64> {
+        if self.is_empty() {
+            return None;
+        }
+        if self.contains_point(p) {
+            return Some(0.0);
+        }
+        let mut best = f64::INFINITY;
+        for cell in self.cells() {
+            let d = p.distance_km(&self.grid.center(cell));
+            if d < best {
+                best = d;
+            }
+        }
+        Some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Arc<GeoGrid> {
+        GeoGrid::new(2.0)
+    }
+
+    #[test]
+    fn empty_and_full() {
+        let g = grid();
+        let e = Region::empty(Arc::clone(&g));
+        assert!(e.is_empty());
+        assert_eq!(e.cell_count(), 0);
+        assert_eq!(e.area_km2(), 0.0);
+        assert!(e.centroid().is_none());
+        let f = Region::full(Arc::clone(&g));
+        assert_eq!(f.cell_count(), g.num_cells());
+        let sphere = 4.0 * std::f64::consts::PI
+            * crate::EARTH_RADIUS_KM
+            * crate::EARTH_RADIUS_KM;
+        assert!((f.area_km2() - sphere).abs() / sphere < 1e-9);
+    }
+
+    #[test]
+    fn insert_remove_idempotent() {
+        let g = grid();
+        let mut r = Region::empty(g);
+        r.insert(10);
+        r.insert(10);
+        assert_eq!(r.cell_count(), 1);
+        r.remove(10);
+        r.remove(10);
+        assert_eq!(r.cell_count(), 0);
+    }
+
+    #[test]
+    fn intersection_of_overlapping_caps() {
+        let g = grid();
+        let a = Region::from_cap(&g, &SphericalCap::new(GeoPoint::new(50.0, 0.0), 1500.0));
+        let b = Region::from_cap(&g, &SphericalCap::new(GeoPoint::new(50.0, 10.0), 1500.0));
+        let i = a.intersection(&b);
+        assert!(!i.is_empty());
+        assert!(i.cell_count() < a.cell_count());
+        assert!(i.is_subset_of(&a));
+        assert!(i.is_subset_of(&b));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn disjoint_caps_do_not_intersect() {
+        let g = grid();
+        let a = Region::from_cap(&g, &SphericalCap::new(GeoPoint::new(50.0, 0.0), 500.0));
+        let b = Region::from_cap(&g, &SphericalCap::new(GeoPoint::new(-50.0, 180.0), 500.0));
+        assert!(!a.intersects(&b));
+        assert!(a.intersection(&b).is_empty());
+    }
+
+    #[test]
+    fn union_counts() {
+        let g = grid();
+        let a = Region::from_cap(&g, &SphericalCap::new(GeoPoint::new(0.0, 0.0), 1000.0));
+        let b = Region::from_cap(&g, &SphericalCap::new(GeoPoint::new(0.0, 30.0), 1000.0));
+        let u = a.union(&b);
+        assert_eq!(u.cell_count(), a.cell_count() + b.cell_count()); // disjoint
+        let mut v = a.clone();
+        v.union_with(&a);
+        assert_eq!(v.cell_count(), a.cell_count());
+    }
+
+    #[test]
+    fn subtract_complement() {
+        let g = grid();
+        let a = Region::from_cap(&g, &SphericalCap::new(GeoPoint::new(0.0, 0.0), 2000.0));
+        let b = Region::from_cap(&g, &SphericalCap::new(GeoPoint::new(0.0, 0.0), 1000.0));
+        let mut ring = a.clone();
+        ring.subtract(&b);
+        assert_eq!(ring.cell_count(), a.cell_count() - b.cell_count());
+        assert!(!ring.intersects(&b));
+    }
+
+    #[test]
+    fn ring_region_excludes_inner_disk() {
+        let g = grid();
+        let center = GeoPoint::new(40.0, -100.0);
+        let ring = Region::from_ring(&g, center, 1000.0, 2500.0);
+        assert!(!ring.contains_point(&center));
+        assert!(!ring.contains_point(&center.destination(90.0, 500.0)));
+        assert!(ring.contains_point(&center.destination(90.0, 1700.0)));
+        assert!(!ring.contains_point(&center.destination(90.0, 3000.0)));
+    }
+
+    #[test]
+    fn centroid_of_cap_is_near_center() {
+        let g = GeoGrid::new(0.5);
+        let c = GeoPoint::new(48.0, 11.0);
+        let r = Region::from_cap(&g, &SphericalCap::new(c, 800.0));
+        let centroid = r.centroid().unwrap();
+        assert!(c.distance_km(&centroid) < 40.0, "centroid {centroid}");
+    }
+
+    #[test]
+    fn centroid_across_antimeridian() {
+        let g = GeoGrid::new(0.5);
+        let c = GeoPoint::new(0.0, 179.5);
+        let r = Region::from_cap(&g, &SphericalCap::new(c, 600.0));
+        let centroid = r.centroid().unwrap();
+        // Naive lat/lon averaging would put this near lon 0; vector
+        // averaging keeps it at the antimeridian.
+        assert!(c.distance_km(&centroid) < 60.0, "centroid {centroid}");
+    }
+
+    #[test]
+    fn distance_from_region() {
+        let g = GeoGrid::new(1.0);
+        let c = GeoPoint::new(50.0, 10.0);
+        let r = Region::from_cap(&g, &SphericalCap::new(c, 500.0));
+        assert_eq!(r.distance_from_km(&c), Some(0.0));
+        let far = c.destination(0.0, 2000.0);
+        let d = r.distance_from_km(&far).unwrap();
+        assert!((d - 1500.0).abs() < 120.0, "got {d}");
+        assert_eq!(Region::empty(g).distance_from_km(&c), None);
+    }
+
+    #[test]
+    fn cells_iterator_matches_membership() {
+        let g = grid();
+        let r = Region::from_cap(&g, &SphericalCap::new(GeoPoint::new(10.0, 20.0), 900.0));
+        let listed: Vec<CellId> = r.cells().collect();
+        assert_eq!(listed.len() as u32, r.cell_count());
+        for c in &listed {
+            assert!(r.contains_cell(*c));
+        }
+        let mut sorted = listed.clone();
+        sorted.sort_unstable();
+        assert_eq!(listed, sorted, "cells() must iterate in ascending order");
+    }
+}

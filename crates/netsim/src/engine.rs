@@ -1,0 +1,705 @@
+//! The packet-level discrete-event engine.
+//!
+//! Packets traverse precomputed routes hop by hop; every hop costs link
+//! propagation plus a queueing draw at the forwarding node (the same
+//! distributions the closed-form sampler uses). Endpoints implement the
+//! protocol semantics the paper's measurement methods depend on:
+//!
+//! * **ICMP echo** — answered unless the target's policy drops it (as 90 %
+//!   of VPN servers do, §4.2);
+//! * **TTL expiry** — emits time-exceeded from the expiring router unless
+//!   that router's policy suppresses it (breaking traceroute, §4.2);
+//! * **TCP SYN** — SYN-ACK (open), RST (closed: still one measurable
+//!   round trip, §4.2), or silence (filtered);
+//! * **VPN tunnel forwarding** — a proxy forwards an encapsulated SYN to
+//!   the landmark and relays the answer back, so the client observes
+//!   RTT(client↔proxy) + RTT(proxy↔landmark);
+//! * **tunnel self-ping** — a ping from the client to its own tunnel
+//!   address crosses the tunnel twice (≈ 2 × RTT(client↔proxy)), the
+//!   Castelluccia-style trick the paper uses to cancel the client↔proxy
+//!   leg (§5.3, Fig. 12/13).
+//!
+//! The engine is single-run: build, inject probes, `run()`, read
+//! completions. Determinism comes from the seeded RNG and a sequence
+//! number that breaks simultaneous-event ties.
+
+use crate::delay::DelayModel;
+use crate::fault::FaultPlan;
+use crate::policy::SynResponse;
+use crate::routing::Router;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+use crate::NodeId;
+use rand::Rng;
+use std::collections::BinaryHeap;
+
+/// Unique id of one probe (measurement attempt).
+pub type ProbeId = u64;
+
+/// What kind of packet is in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketKind {
+    /// ICMP echo request.
+    EchoRequest,
+    /// ICMP echo reply.
+    EchoReply,
+    /// ICMP time-exceeded, emitted by `router`.
+    TimeExceeded {
+        /// The router where the TTL expired.
+        router: NodeId,
+    },
+    /// TCP SYN to `port`.
+    TcpSyn {
+        /// Destination port.
+        port: u16,
+    },
+    /// TCP SYN-ACK (connection accepted).
+    TcpSynAck,
+    /// TCP RST (connection refused).
+    TcpRst,
+    /// Client→proxy: please open a TCP connection to `target`:`port`.
+    TunnelConnect {
+        /// Final destination of the proxied connection.
+        target: NodeId,
+        /// Destination port.
+        port: u16,
+    },
+    /// Proxy→client: the proxied connection completed (`refused` = RST).
+    TunnelConnectDone {
+        /// True if the landmark refused (RST) rather than accepted.
+        refused: bool,
+    },
+    /// Client→proxy: ping my own tunnel address (leg 1 of 4).
+    TunnelSelfPing,
+    /// Proxy→client: the self-ping comes back down the tunnel (leg 2).
+    TunnelSelfPingEcho,
+    /// Client→proxy: tunnel endpoint replies (leg 3).
+    TunnelSelfPingReply,
+    /// Proxy→client: reply relayed, self-ping complete (leg 4).
+    TunnelSelfPingDone,
+}
+
+/// A packet in flight along a precomputed route.
+#[derive(Debug, Clone)]
+struct Packet {
+    probe: ProbeId,
+    kind: PacketKind,
+    src: NodeId,
+    dst: NodeId,
+    ttl: u32,
+    route: Vec<NodeId>,
+    /// Index of the node the packet currently sits at.
+    pos: usize,
+}
+
+/// How a probe finished.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbeOutcome {
+    /// A reply arrived at the probe's originator at the given time.
+    Completed {
+        /// Arrival time of the completing packet.
+        at: SimTime,
+        /// The packet kind that completed the probe.
+        reply: PacketKind,
+    },
+    /// No reply by the end of the run (filtered, dropped, or unreachable).
+    TimedOut,
+}
+
+/// One recorded packet-trace entry: a packet arriving at a node.
+/// The DES analogue of the packet dumps event-driven network stacks
+/// provide for debugging — consumed by `Network::trace_*` and the Fig. 7
+/// harness.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Arrival time.
+    pub at: SimTime,
+    /// Node the packet arrived at.
+    pub node: NodeId,
+    /// What arrived.
+    pub kind: PacketKind,
+    /// True if this node is the packet's final destination (a delivery,
+    /// not a forwarding hop).
+    pub delivered: bool,
+}
+
+/// One scheduled event: a packet arriving at a node.
+struct Event {
+    at: SimTime,
+    seq: u64,
+    packet: Packet,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap: earliest time first; sequence number breaks ties.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The discrete-event engine for one batch of probes.
+pub struct Engine<'a, R: Rng> {
+    topo: &'a Topology,
+    router: &'a Router,
+    model: &'a DelayModel,
+    faults: &'a FaultPlan,
+    rng: &'a mut R,
+    queue: BinaryHeap<Event>,
+    seq: u64,
+    outcomes: Vec<(ProbeId, ProbeOutcome)>,
+    /// Per-probe originator (where a completion must arrive).
+    originators: Vec<(ProbeId, NodeId)>,
+    /// Outstanding proxied connections: (probe, proxy, client) — when the
+    /// onward SYN's answer returns to the proxy, it is relayed to the
+    /// client.
+    relay_targets: Vec<(ProbeId, NodeId, NodeId)>,
+    next_probe: ProbeId,
+    default_ttl: u32,
+    /// When set, every packet arrival is recorded here.
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl<'a, R: Rng> Engine<'a, R> {
+    /// Create an engine over shared network state.
+    pub fn new(
+        topo: &'a Topology,
+        router: &'a Router,
+        model: &'a DelayModel,
+        faults: &'a FaultPlan,
+        rng: &'a mut R,
+    ) -> Engine<'a, R> {
+        Engine {
+            topo,
+            router,
+            model,
+            faults,
+            rng,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            outcomes: Vec::new(),
+            originators: Vec::new(),
+            relay_targets: Vec::new(),
+            next_probe: 0,
+            default_ttl: 64,
+            trace: None,
+        }
+    }
+
+    /// Enable packet tracing for this run (records every arrival).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Take the recorded trace (empty if tracing was never enabled).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// Inject a probe packet at `src` at time `at`; returns its id, or
+    /// `None` if the destination is unreachable.
+    pub fn inject(
+        &mut self,
+        at: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        kind: PacketKind,
+        ttl: Option<u32>,
+    ) -> Option<ProbeId> {
+        let route = self.router.path(self.topo, src, dst)?;
+        let probe = self.next_probe;
+        self.next_probe += 1;
+        self.originators.push((probe, src));
+        let packet = Packet {
+            probe,
+            kind,
+            src,
+            dst,
+            ttl: ttl.unwrap_or(self.default_ttl),
+            route,
+            pos: 0,
+        };
+        // The sender pays its network-stack cost up front (the receiver
+        // pays at delivery), keeping the DES and the closed-form sampler
+        // on the same per-one-way budget.
+        let stack = SimDuration::from_ms(self.model.endpoint_ms);
+        self.schedule(at + stack, packet);
+        Some(probe)
+    }
+
+    fn schedule(&mut self, at: SimTime, packet: Packet) {
+        self.seq += 1;
+        self.queue.push(Event {
+            at,
+            seq: self.seq,
+            packet,
+        });
+    }
+
+    /// Send a (response) packet from `src` to `dst`, keeping the probe id.
+    /// Like [`Engine::inject`], the sender pays its stack cost up front.
+    fn send(&mut self, at: SimTime, probe: ProbeId, src: NodeId, dst: NodeId, kind: PacketKind) {
+        if let Some(route) = self.router.path(self.topo, src, dst) {
+            let packet = Packet {
+                probe,
+                kind,
+                src,
+                dst,
+                ttl: self.default_ttl,
+                route,
+                pos: 0,
+            };
+            let stack = SimDuration::from_ms(self.model.endpoint_ms);
+            self.schedule(at + stack, packet);
+        }
+    }
+
+    /// Run until the event queue drains, then mark unanswered probes as
+    /// timed out. Returns `(probe, outcome)` pairs in probe order.
+    pub fn run(&mut self) -> Vec<(ProbeId, ProbeOutcome)> {
+        while let Some(Event { at, packet, .. }) = self.queue.pop() {
+            self.handle_arrival(at, packet);
+        }
+        let mut outcomes = std::mem::take(&mut self.outcomes);
+        // Any probe without an outcome timed out.
+        for &(probe, _) in &self.originators {
+            if !outcomes.iter().any(|(p, _)| *p == probe) {
+                outcomes.push((probe, ProbeOutcome::TimedOut));
+            }
+        }
+        outcomes.sort_by_key(|(p, _)| *p);
+        outcomes
+    }
+
+    fn handle_arrival(&mut self, at: SimTime, mut packet: Packet) {
+        let here = packet.route[packet.pos];
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent {
+                at,
+                node: here,
+                kind: packet.kind.clone(),
+                delivered: here == packet.dst,
+            });
+        }
+        if here == packet.dst {
+            self.handle_delivery(at, packet);
+            return;
+        }
+
+        // Forwarding through an intermediate node: TTL check, queueing.
+        let is_endpoint_origin = packet.pos == 0;
+        if !is_endpoint_origin {
+            if packet.ttl == 0 {
+                // Should have expired earlier; defensive.
+                return;
+            }
+            packet.ttl -= 1;
+            if packet.ttl == 0 {
+                // Expired here: time-exceeded back to the source, unless
+                // suppressed by this router's policy or it's a reply kind.
+                if !self.topo.node(here).policy.drop_time_exceeded {
+                    let probe = packet.probe;
+                    let src = packet.src;
+                    self.send(
+                        at,
+                        probe,
+                        here,
+                        src,
+                        PacketKind::TimeExceeded { router: here },
+                    );
+                }
+                return;
+            }
+        }
+
+        // Fault injection: random loss on forward.
+        if self.faults.drops_packet(here, self.rng) {
+            return;
+        }
+
+        let queue_ms = if is_endpoint_origin {
+            0.0
+        } else {
+            self.model.queue_draw_ms(self.topo.node(here), self.rng)
+        };
+        let next = packet.route[packet.pos + 1];
+        let link = self
+            .topo
+            .neighbours(here)
+            .iter()
+            .find(|&&(_, n)| n == next)
+            .map(|&(l, _)| l)
+            .expect("route follows links");
+        let extra = self.faults.added_delay_ms(here, self.rng);
+        let hop = SimDuration::from_ms(
+            self.topo.link(link).propagation_ms
+                + self.model.per_hop_fixed_ms
+                + queue_ms
+                + extra,
+        );
+        packet.pos += 1;
+        self.schedule(at + hop, packet);
+    }
+
+    fn handle_delivery(&mut self, at: SimTime, packet: Packet) {
+        let here = packet.dst;
+        let stack = SimDuration::from_ms(self.model.endpoint_ms);
+        let mut at = at + stack;
+        // Tunnelled packets handled by a proxy pay VPN forwarding
+        // overhead (encryption, user-space forwarding): the "extra noise
+        // and queueing delays" of through-proxy measurement (§5.3).
+        if matches!(
+            packet.kind,
+            PacketKind::TunnelConnect { .. }
+                | PacketKind::TunnelSelfPing
+                | PacketKind::TunnelSelfPingReply
+        ) {
+            at = at + SimDuration::from_ms(self.model.vpn_forward_draw_ms(self.rng));
+        }
+        let policy = self.topo.node(here).policy.clone();
+        match packet.kind {
+            PacketKind::EchoRequest => {
+                if !policy.drop_icmp_echo {
+                    self.send(at, packet.probe, here, packet.src, PacketKind::EchoReply);
+                }
+            }
+            PacketKind::TcpSyn { port } => match policy.syn_response(port) {
+                SynResponse::SynAck => {
+                    // An adversarial proxy in the middle could have forged
+                    // this earlier; that is modelled at the proxy, not here.
+                    self.send(at, packet.probe, here, packet.src, PacketKind::TcpSynAck);
+                }
+                SynResponse::Rst => {
+                    self.send(at, packet.probe, here, packet.src, PacketKind::TcpRst);
+                }
+                SynResponse::Dropped => {}
+            },
+            PacketKind::TunnelConnect { target, port } => {
+                // The proxy opens the onward connection. An adversarial
+                // proxy may instead forge an immediate answer (§8: it sees
+                // the SYNs, so it can forge SYN-ACKs without guessing
+                // sequence numbers).
+                if self.faults.forges_synack(here) {
+                    self.send(
+                        at,
+                        packet.probe,
+                        here,
+                        packet.src,
+                        PacketKind::TunnelConnectDone { refused: false },
+                    );
+                } else {
+                    self.send(at, packet.probe, here, target, PacketKind::TcpSyn { port });
+                    // Remember where to relay the answer: the engine keys
+                    // relays by probe id — the onward SYN keeps the probe
+                    // id, and when its answer arrives back here we relay.
+                    // (Stored implicitly: the SYN's src is this proxy, so
+                    // the SYN-ACK is delivered here and matched below.)
+                    self.relay_targets.push((packet.probe, here, packet.src));
+                }
+            }
+            PacketKind::TcpSynAck | PacketKind::TcpRst => {
+                let refused = packet.kind == PacketKind::TcpRst;
+                // Is this the return half of a proxied connection?
+                if let Some(idx) = self
+                    .relay_targets
+                    .iter()
+                    .position(|&(p, proxy, _)| p == packet.probe && proxy == here)
+                {
+                    let (_, _, client) = self.relay_targets.swap_remove(idx);
+                    // Relaying the answer down the tunnel costs another
+                    // VPN forwarding step.
+                    let at = at + SimDuration::from_ms(self.model.vpn_forward_draw_ms(self.rng));
+                    self.send(
+                        at,
+                        packet.probe,
+                        here,
+                        client,
+                        PacketKind::TunnelConnectDone { refused },
+                    );
+                } else {
+                    self.complete(packet.probe, here, at, packet.kind);
+                }
+            }
+            PacketKind::TunnelSelfPing => {
+                // Leg 2: the proxy routes the tunnel-addressed ping back
+                // down to the client.
+                self.send(
+                    at,
+                    packet.probe,
+                    here,
+                    packet.src,
+                    PacketKind::TunnelSelfPingEcho,
+                );
+            }
+            PacketKind::TunnelSelfPingEcho => {
+                // Leg 3: the client's tunnel interface answers, up again.
+                self.send(
+                    at,
+                    packet.probe,
+                    here,
+                    packet.src,
+                    PacketKind::TunnelSelfPingReply,
+                );
+            }
+            PacketKind::TunnelSelfPingReply => {
+                // Leg 4: proxy relays the reply down to the client.
+                self.send(
+                    at,
+                    packet.probe,
+                    here,
+                    packet.src,
+                    PacketKind::TunnelSelfPingDone,
+                );
+            }
+            PacketKind::EchoReply
+            | PacketKind::TimeExceeded { .. }
+            | PacketKind::TunnelConnectDone { .. }
+            | PacketKind::TunnelSelfPingDone => {
+                self.complete(packet.probe, here, at, packet.kind);
+            }
+        }
+    }
+
+    fn complete(&mut self, probe: ProbeId, at_node: NodeId, at: SimTime, reply: PacketKind) {
+        // Only the probe's originator completes it; stray deliveries
+        // (e.g. time-exceeded racing a reply) keep the first completion.
+        let is_originator = self
+            .originators
+            .iter()
+            .any(|&(p, n)| p == probe && n == at_node);
+        if !is_originator {
+            return;
+        }
+        if self.outcomes.iter().any(|(p, _)| *p == probe) {
+            return;
+        }
+        self.outcomes.push((probe, ProbeOutcome::Completed { at, reply }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::policy::FilterPolicy;
+    use crate::topology::{plain_node, NodeKind, Topology};
+    use geokit::GeoPoint;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct World {
+        topo: Topology,
+        router: Router,
+        model: DelayModel,
+        faults: FaultPlan,
+        client: NodeId,
+        proxy: NodeId,
+        landmark: NodeId,
+        mid: NodeId,
+    }
+
+    /// client — A — B — landmark, proxy on B.
+    fn world() -> World {
+        let mut topo = Topology::new();
+        let a = topo.add_node(plain_node(NodeKind::Ixp, GeoPoint::new(50.0, 8.0)));
+        let b = topo.add_node(plain_node(NodeKind::Ixp, GeoPoint::new(48.0, 2.0)));
+        let client = topo.add_node(plain_node(NodeKind::Host, GeoPoint::new(50.1, 8.6)));
+        let proxy = topo.add_node(plain_node(NodeKind::Host, GeoPoint::new(48.8, 2.3)));
+        let landmark = topo.add_node(plain_node(NodeKind::Host, GeoPoint::new(47.9, 1.9)));
+        topo.add_link(a, b, 4.0);
+        topo.add_link(client, a, 0.5);
+        topo.add_link(proxy, b, 0.5);
+        topo.add_link(landmark, b, 0.3);
+        World {
+            topo,
+            router: Router::new(),
+            model: DelayModel::default(),
+            faults: FaultPlan::default(),
+            client,
+            proxy,
+            landmark,
+            mid: a,
+        }
+    }
+
+    fn run_one(w: &World, kind: PacketKind, src: NodeId, dst: NodeId, ttl: Option<u32>) -> ProbeOutcome {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut eng = Engine::new(&w.topo, &w.router, &w.model, &w.faults, &mut rng);
+        let p = eng.inject(SimTime::ZERO, src, dst, kind, ttl).unwrap();
+        let outcomes = eng.run();
+        outcomes
+            .into_iter()
+            .find(|(id, _)| *id == p)
+            .map(|(_, o)| o)
+            .unwrap()
+    }
+
+    #[test]
+    fn ping_round_trip() {
+        let w = world();
+        match run_one(&w, PacketKind::EchoRequest, w.client, w.landmark, None) {
+            ProbeOutcome::Completed { at, reply } => {
+                assert_eq!(reply, PacketKind::EchoReply);
+                // 2 × (0.5 + 4.0 + 0.3) = 9.6 ms propagation minimum.
+                assert!(at.since(SimTime::ZERO).as_ms() >= 9.6);
+                assert!(at.since(SimTime::ZERO).as_ms() < 40.0);
+            }
+            o => panic!("expected completion, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn ping_dropped_by_policy() {
+        let mut w = world();
+        w.topo.node_mut(w.landmark).policy = FilterPolicy::vpn_server();
+        assert_eq!(
+            run_one(&w, PacketKind::EchoRequest, w.client, w.landmark, None),
+            ProbeOutcome::TimedOut
+        );
+    }
+
+    #[test]
+    fn tcp_connect_open_and_closed() {
+        let w = world();
+        match run_one(&w, PacketKind::TcpSyn { port: 80 }, w.client, w.landmark, None) {
+            ProbeOutcome::Completed { reply, .. } => assert_eq!(reply, PacketKind::TcpSynAck),
+            o => panic!("{o:?}"),
+        }
+        match run_one(&w, PacketKind::TcpSyn { port: 9999 }, w.client, w.landmark, None) {
+            ProbeOutcome::Completed { reply, .. } => assert_eq!(reply, PacketKind::TcpRst),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn tcp_filtered_times_out() {
+        let mut w = world();
+        w.topo.node_mut(w.landmark).policy.filtered_tcp_ports = vec![80];
+        assert_eq!(
+            run_one(&w, PacketKind::TcpSyn { port: 80 }, w.client, w.landmark, None),
+            ProbeOutcome::TimedOut
+        );
+    }
+
+    #[test]
+    fn ttl_expiry_yields_time_exceeded() {
+        let w = world();
+        match run_one(&w, PacketKind::TcpSyn { port: 80 }, w.client, w.landmark, Some(1)) {
+            ProbeOutcome::Completed { reply, .. } => {
+                assert_eq!(reply, PacketKind::TimeExceeded { router: w.mid });
+            }
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn ttl_expiry_suppressed() {
+        let mut w = world();
+        w.topo.node_mut(w.mid).policy.drop_time_exceeded = true;
+        assert_eq!(
+            run_one(&w, PacketKind::TcpSyn { port: 80 }, w.client, w.landmark, Some(1)),
+            ProbeOutcome::TimedOut
+        );
+    }
+
+    #[test]
+    fn proxied_connect_sums_both_legs() {
+        let w = world();
+        let direct_cp = 2.0 * (0.5 + 4.0 + 0.5); // client↔proxy propagation
+        let direct_pl = 2.0 * (0.5 + 0.3); // proxy↔landmark propagation
+        match run_one(
+            &w,
+            PacketKind::TunnelConnect {
+                target: w.landmark,
+                port: 80,
+            },
+            w.client,
+            w.proxy,
+            None,
+        ) {
+            ProbeOutcome::Completed { at, reply } => {
+                assert_eq!(reply, PacketKind::TunnelConnectDone { refused: false });
+                let ms = at.since(SimTime::ZERO).as_ms();
+                assert!(ms >= direct_cp + direct_pl, "{ms}");
+                assert!(ms < direct_cp + direct_pl + 30.0, "{ms}");
+            }
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn tunnel_self_ping_is_two_client_proxy_round_trips() {
+        let w = world();
+        let one_rtt = 2.0 * (0.5 + 4.0 + 0.5);
+        match run_one(&w, PacketKind::TunnelSelfPing, w.client, w.proxy, None) {
+            ProbeOutcome::Completed { at, reply } => {
+                assert_eq!(reply, PacketKind::TunnelSelfPingDone);
+                let ms = at.since(SimTime::ZERO).as_ms();
+                assert!(ms >= 2.0 * one_rtt, "{ms} < {}", 2.0 * one_rtt);
+                assert!(ms < 2.0 * one_rtt + 40.0, "{ms}");
+            }
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn forged_synack_shortens_measurement() {
+        let mut w = world();
+        w.faults.set_forge_synack(w.proxy, true);
+        let honest = {
+            let w2 = world();
+            match run_one(
+                &w2,
+                PacketKind::TunnelConnect {
+                    target: w2.landmark,
+                    port: 80,
+                },
+                w2.client,
+                w2.proxy,
+                None,
+            ) {
+                ProbeOutcome::Completed { at, .. } => at.since(SimTime::ZERO).as_ms(),
+                o => panic!("{o:?}"),
+            }
+        };
+        match run_one(
+            &w,
+            PacketKind::TunnelConnect {
+                target: w.landmark,
+                port: 80,
+            },
+            w.client,
+            w.proxy,
+            None,
+        ) {
+            ProbeOutcome::Completed { at, .. } => {
+                let forged = at.since(SimTime::ZERO).as_ms();
+                assert!(
+                    forged < honest,
+                    "forged {forged} should beat honest {honest}"
+                );
+            }
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn total_drop_chance_times_out() {
+        let mut w = world();
+        w.faults.set_drop_chance(1.0);
+        assert_eq!(
+            run_one(&w, PacketKind::EchoRequest, w.client, w.landmark, None),
+            ProbeOutcome::TimedOut
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Fault injection: random loss, added delay, and adversarial proxies.
+//!
+//! Follows the fault-injection design of event-driven network stacks
+//! (random drop/delay knobs exercised by tests), plus the paper's §8
+//! threat model: a hostile proxy can selectively delay packets, and —
+//! because it terminates the TCP handshake it forwards — it can forge
+//! early SYN-ACKs without guessing sequence numbers, shifting the
+//! predicted region arbitrarily.
+
+use crate::NodeId;
+use geokit::sampling;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Per-run fault configuration. Default: no faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Probability that any forwarding node drops a packet.
+    drop_chance: f64,
+    /// Per-node extra forwarding delay: (mean_ms, jitter_ms).
+    added_delay: HashMap<NodeId, (f64, f64)>,
+    /// Proxies that forge SYN-ACKs for tunnelled connections.
+    forge_synack: HashMap<NodeId, bool>,
+}
+
+impl FaultPlan {
+    /// Set the global random-drop probability (clamped to `[0, 1]`).
+    pub fn set_drop_chance(&mut self, p: f64) {
+        self.drop_chance = p.clamp(0.0, 1.0);
+    }
+
+    /// Add a constant-plus-jitter delay at a node's forwarding path —
+    /// the "selective added delay" attack of Gill et al. discussed in §8.
+    pub fn set_added_delay(&mut self, node: NodeId, mean_ms: f64, jitter_ms: f64) {
+        assert!(mean_ms >= 0.0 && jitter_ms >= 0.0, "negative delay");
+        self.added_delay.insert(node, (mean_ms, jitter_ms));
+    }
+
+    /// Make a proxy forge immediate SYN-ACKs for tunnelled connections
+    /// (the RTT-deflation attack of Abdou et al. discussed in §8).
+    pub fn set_forge_synack(&mut self, proxy: NodeId, forge: bool) {
+        self.forge_synack.insert(proxy, forge);
+    }
+
+    /// Does this forwarding node drop the packet now?
+    pub fn drops_packet<R: Rng + ?Sized>(&self, _node: NodeId, rng: &mut R) -> bool {
+        self.drop_chance > 0.0 && sampling::coin(rng, self.drop_chance)
+    }
+
+    /// Extra forwarding delay at this node, ms.
+    pub fn added_delay_ms<R: Rng + ?Sized>(&self, node: NodeId, rng: &mut R) -> f64 {
+        match self.added_delay.get(&node) {
+            None => 0.0,
+            Some(&(mean, jitter)) => {
+                if jitter > 0.0 {
+                    (mean + sampling::normal(rng, 0.0, jitter)).max(0.0)
+                } else {
+                    mean
+                }
+            }
+        }
+    }
+
+    /// Does this proxy forge SYN-ACKs?
+    pub fn forges_synack(&self, proxy: NodeId) -> bool {
+        self.forge_synack.get(&proxy).copied().unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_is_faultless() {
+        let f = FaultPlan::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!f.drops_packet(0, &mut rng));
+        assert_eq!(f.added_delay_ms(0, &mut rng), 0.0);
+        assert!(!f.forges_synack(0));
+    }
+
+    #[test]
+    fn drop_chance_statistics() {
+        let mut f = FaultPlan::default();
+        f.set_drop_chance(0.25);
+        let mut rng = StdRng::seed_from_u64(2);
+        let drops = (0..10_000).filter(|_| f.drops_packet(0, &mut rng)).count();
+        assert!((2200..2800).contains(&drops), "drops {drops}");
+    }
+
+    #[test]
+    fn added_delay_is_nonnegative() {
+        let mut f = FaultPlan::default();
+        f.set_added_delay(3, 2.0, 5.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(f.added_delay_ms(3, &mut rng) >= 0.0);
+        }
+        assert_eq!(f.added_delay_ms(4, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn clamp_out_of_range_drop() {
+        let mut f = FaultPlan::default();
+        f.set_drop_chance(7.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(f.drops_packet(0, &mut rng));
+    }
+}

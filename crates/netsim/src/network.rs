@@ -1,0 +1,444 @@
+//! The measurement facade: one object bundling topology, routing, delay
+//! model, fault plan, and a seeded RNG, with both packet-level (DES) and
+//! closed-form measurement operations.
+//!
+//! Rule of use: protocol-faithful operations (`ping`, `tcp_connect_rtt`,
+//! `tcp_connect_via_proxy_rtt`, `self_ping_via_proxy_rtt`, `traceroute`)
+//! run the event engine; bulk statistics (`sample_rtt_ms` and friends)
+//! draw from the identical delay model along the identical routes. The
+//! `des_and_sampler_agree` test pins the equivalence.
+
+use crate::delay::{DelayModel, PathDelays};
+use crate::engine::{Engine, PacketKind, ProbeOutcome, TraceEvent};
+use crate::fault::FaultPlan;
+use crate::routing::Router;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+use crate::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A simulated network ready to be measured.
+pub struct Network {
+    topo: Topology,
+    router: Router,
+    model: DelayModel,
+    faults: FaultPlan,
+    rng: StdRng,
+}
+
+impl Network {
+    /// Wrap a topology with the default delay model.
+    pub fn new(topo: Topology, seed: u64) -> Network {
+        Network::with_model(topo, DelayModel::default(), seed)
+    }
+
+    /// Wrap a topology with an explicit delay model.
+    pub fn with_model(topo: Topology, model: DelayModel, seed: u64) -> Network {
+        Network {
+            topo,
+            router: Router::new(),
+            model,
+            faults: FaultPlan::default(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The topology (read-only).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Mutable topology access; invalidates the routing cache.
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        self.router.invalidate();
+        &mut self.topo
+    }
+
+    /// The delay model in force.
+    pub fn delay_model(&self) -> &DelayModel {
+        &self.model
+    }
+
+    /// Mutable fault plan (drops, added delay, adversarial proxies).
+    pub fn faults_mut(&mut self) -> &mut FaultPlan {
+        &mut self.faults
+    }
+
+    // --- DES-based, protocol-faithful operations ------------------------
+
+    fn run_probe(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        kind: PacketKind,
+        ttl: Option<u32>,
+    ) -> Option<(SimDuration, PacketKind)> {
+        let mut engine = Engine::new(&self.topo, &self.router, &self.model, &self.faults, &mut self.rng);
+        let probe = engine.inject(SimTime::ZERO, src, dst, kind, ttl)?;
+        let outcomes = engine.run();
+        match outcomes.into_iter().find(|(p, _)| *p == probe) {
+            Some((_, ProbeOutcome::Completed { at, reply })) => {
+                Some((at.since(SimTime::ZERO), reply))
+            }
+            _ => None,
+        }
+    }
+
+    /// ICMP echo round-trip time, or `None` if the target (or a fault)
+    /// swallows it.
+    pub fn ping(&mut self, client: NodeId, target: NodeId) -> Option<SimDuration> {
+        match self.run_probe(client, target, PacketKind::EchoRequest, None)? {
+            (rtt, PacketKind::EchoReply) => Some(rtt),
+            _ => None,
+        }
+    }
+
+    /// TCP connect round-trip time on `port` — the CLI measurement
+    /// primitive (§4.2). Both SYN-ACK and RST count (connect() returning
+    /// "refused" still measures one round trip); silence returns `None`.
+    pub fn tcp_connect_rtt(
+        &mut self,
+        client: NodeId,
+        target: NodeId,
+        port: u16,
+    ) -> Option<SimDuration> {
+        match self.run_probe(client, target, PacketKind::TcpSyn { port }, None)? {
+            (rtt, PacketKind::TcpSynAck) | (rtt, PacketKind::TcpRst) => Some(rtt),
+            _ => None,
+        }
+    }
+
+    /// TCP connect through a VPN proxy: the client observes the sum of the
+    /// tunnel leg and the onward leg (§5.3, Fig. 12).
+    pub fn tcp_connect_via_proxy_rtt(
+        &mut self,
+        client: NodeId,
+        proxy: NodeId,
+        target: NodeId,
+        port: u16,
+    ) -> Option<SimDuration> {
+        match self.run_probe(
+            client,
+            proxy,
+            PacketKind::TunnelConnect { target, port },
+            None,
+        )? {
+            (rtt, PacketKind::TunnelConnectDone { .. }) => Some(rtt),
+            _ => None,
+        }
+    }
+
+    /// Ping the client's own VPN-tunnel address: ≈ 2 × RTT(client↔proxy),
+    /// the quantity used to cancel the tunnel leg (§5.3).
+    pub fn self_ping_via_proxy_rtt(
+        &mut self,
+        client: NodeId,
+        proxy: NodeId,
+    ) -> Option<SimDuration> {
+        match self.run_probe(client, proxy, PacketKind::TunnelSelfPing, None)? {
+            (rtt, PacketKind::TunnelSelfPingDone) => Some(rtt),
+            _ => None,
+        }
+    }
+
+    /// Traceroute: one probe per TTL, reporting the responding router (or
+    /// `None` where time-exceeded was suppressed). Stops after the hop
+    /// that reaches the target.
+    pub fn traceroute(
+        &mut self,
+        client: NodeId,
+        target: NodeId,
+        max_ttl: u32,
+    ) -> Vec<Option<NodeId>> {
+        let mut hops = Vec::new();
+        for ttl in 1..=max_ttl {
+            match self.run_probe(client, target, PacketKind::TcpSyn { port: 80 }, Some(ttl)) {
+                Some((_, PacketKind::TimeExceeded { router })) => hops.push(Some(router)),
+                Some((_, PacketKind::TcpSynAck)) | Some((_, PacketKind::TcpRst)) => {
+                    hops.push(Some(target));
+                    break;
+                }
+                _ => hops.push(None),
+            }
+        }
+        hops
+    }
+
+    /// Round-trip time to the first hop on the way to `target` (a TTL-1
+    /// probe answered by time-exceeded), or `None` if the first hop
+    /// suppresses time-exceeded. This is the quantity the original Octant
+    /// uses to compute its "height" correction.
+    pub fn first_hop_rtt(
+        &mut self,
+        client: NodeId,
+        target: NodeId,
+    ) -> Option<SimDuration> {
+        match self.run_probe(client, target, PacketKind::TcpSyn { port: 80 }, Some(1))? {
+            (rtt, PacketKind::TimeExceeded { .. }) => Some(rtt),
+            _ => None,
+        }
+    }
+
+    /// Run one TCP connect with full packet tracing: returns the ordered
+    /// list of per-node arrivals (the DES analogue of a packet dump) and
+    /// the measured RTT if the probe completed. Used by the Fig. 7
+    /// harness and for debugging protocol behaviour.
+    pub fn trace_tcp_connect(
+        &mut self,
+        client: NodeId,
+        target: NodeId,
+        port: u16,
+    ) -> (Vec<TraceEvent>, Option<SimDuration>) {
+        let mut engine = Engine::new(
+            &self.topo,
+            &self.router,
+            &self.model,
+            &self.faults,
+            &mut self.rng,
+        );
+        engine.enable_trace();
+        let Some(probe) = engine.inject(SimTime::ZERO, client, target, PacketKind::TcpSyn { port }, None)
+        else {
+            return (Vec::new(), None);
+        };
+        let outcomes = engine.run();
+        let trace = engine.take_trace();
+        let rtt = outcomes.into_iter().find(|(p, _)| *p == probe).and_then(
+            |(_, o)| match o {
+                ProbeOutcome::Completed { at, .. } => Some(at.since(SimTime::ZERO)),
+                ProbeOutcome::TimedOut => None,
+            },
+        );
+        (trace, rtt)
+    }
+
+    // --- Closed-form sampling (bulk experiments) -------------------------
+
+    /// The routed path's delay facts, or `None` if unreachable.
+    pub fn path_delays(&self, src: NodeId, dst: NodeId) -> Option<PathDelays> {
+        let path = self.router.path(&self.topo, src, dst)?;
+        if path.len() < 2 {
+            return None;
+        }
+        Some(PathDelays::from_node_path(&self.topo, &path))
+    }
+
+    /// One stochastic RTT draw in ms (sum of two independent one-way
+    /// draws over the same path).
+    pub fn sample_rtt_ms(&mut self, src: NodeId, dst: NodeId) -> Option<f64> {
+        let path = self.path_delays(src, dst)?;
+        let fwd = self.model.one_way_ms(&self.topo, &path, &mut self.rng);
+        let rev = self.model.one_way_ms(&self.topo, &path, &mut self.rng);
+        Some(fwd + rev)
+    }
+
+    /// The minimum of `n` RTT draws, in ms — what repeated measurement
+    /// converges to, and what CBG calibration consumes.
+    pub fn min_of_n_rtt_ms(&mut self, src: NodeId, dst: NodeId, n: usize) -> Option<f64> {
+        assert!(n > 0, "need at least one draw");
+        let path = self.path_delays(src, dst)?;
+        let mut best = f64::INFINITY;
+        for _ in 0..n {
+            let fwd = self.model.one_way_ms(&self.topo, &path, &mut self.rng);
+            let rev = self.model.one_way_ms(&self.topo, &path, &mut self.rng);
+            best = best.min(fwd + rev);
+        }
+        Some(best)
+    }
+
+    /// The physical floor of the RTT in ms — no draw can beat this.
+    pub fn floor_rtt_ms(&self, src: NodeId, dst: NodeId) -> Option<f64> {
+        let path = self.path_delays(src, dst)?;
+        Some(2.0 * self.model.floor_one_way_ms(&path))
+    }
+
+    /// Great-circle distance between two nodes' physical locations, km.
+    pub fn gc_distance_km(&self, a: NodeId, b: NodeId) -> f64 {
+        self.topo
+            .node(a)
+            .location
+            .distance_km(&self.topo.node(b).location)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::FilterPolicy;
+    use crate::topology::{plain_node, NodeKind};
+    use geokit::GeoPoint;
+
+    /// A little Europe: Frankfurt and Paris IXPs, hosts on each.
+    fn net() -> (Network, NodeId, NodeId, NodeId) {
+        let mut topo = Topology::new();
+        let fra = topo.add_node(plain_node(NodeKind::Ixp, GeoPoint::new(50.1, 8.7)));
+        let par = topo.add_node(plain_node(NodeKind::Ixp, GeoPoint::new(48.9, 2.3)));
+        let client = topo.add_node(plain_node(NodeKind::Host, GeoPoint::new(50.0, 8.6)));
+        let proxy = topo.add_node(plain_node(NodeKind::Host, GeoPoint::new(48.8, 2.4)));
+        let lm = topo.add_node(plain_node(NodeKind::Host, GeoPoint::new(48.7, 2.2)));
+        // ~480 km Frankfurt–Paris at 1.5× circuitousness / 200 km/ms ≈ 3.5 ms.
+        topo.add_link(fra, par, 3.5);
+        topo.add_link(client, fra, 0.3);
+        topo.add_link(proxy, par, 0.3);
+        topo.add_link(lm, par, 0.2);
+        (Network::new(topo, 42), client, proxy, lm)
+    }
+
+    #[test]
+    fn tcp_rtt_close_to_floor_on_repeat() {
+        let (mut net, client, _, lm) = net();
+        let floor = net.floor_rtt_ms(client, lm).unwrap();
+        let best = (0..50)
+            .filter_map(|_| net.tcp_connect_rtt(client, lm, 80))
+            .map(|d| d.as_ms())
+            .fold(f64::INFINITY, f64::min);
+        assert!(best >= floor, "{best} < {floor}");
+        assert!(best < floor + 1.5, "{best} too far above floor {floor}");
+    }
+
+    #[test]
+    fn des_and_sampler_agree() {
+        // The DES and the closed-form sampler must produce statistically
+        // indistinguishable RTT distributions for the same pair.
+        let (mut net, client, _, lm) = net();
+        let des: Vec<f64> = (0..400)
+            .filter_map(|_| net.tcp_connect_rtt(client, lm, 80))
+            .map(|d| d.as_ms())
+            .collect();
+        let sam: Vec<f64> = (0..400)
+            .filter_map(|_| net.sample_rtt_ms(client, lm))
+            .collect();
+        let (md, ms) = (geokit::stats::median(&des).unwrap(), geokit::stats::median(&sam).unwrap());
+        assert!(
+            (md - ms).abs() < 0.35,
+            "median mismatch: DES {md} vs sampler {ms}"
+        );
+        let (mind, mins) = (
+            des.iter().copied().fold(f64::INFINITY, f64::min),
+            sam.iter().copied().fold(f64::INFINITY, f64::min),
+        );
+        assert!((mind - mins).abs() < 0.5, "min mismatch {mind} vs {mins}");
+    }
+
+    #[test]
+    fn proxied_rtt_is_sum_of_legs() {
+        let (mut net, client, proxy, lm) = net();
+        let via: f64 = (0..40)
+            .filter_map(|_| net.tcp_connect_via_proxy_rtt(client, proxy, lm, 80))
+            .map(|d| d.as_ms())
+            .fold(f64::INFINITY, f64::min);
+        let leg1 = net.floor_rtt_ms(client, proxy).unwrap();
+        let leg2 = net.floor_rtt_ms(proxy, lm).unwrap();
+        assert!(via >= leg1 + leg2 - 0.5, "{via} vs {}", leg1 + leg2);
+        assert!(via < leg1 + leg2 + 3.0);
+    }
+
+    #[test]
+    fn self_ping_is_about_twice_direct() {
+        let (mut net, client, proxy, _) = net();
+        let direct: f64 = (0..40)
+            .filter_map(|_| net.ping(client, proxy))
+            .map(|d| d.as_ms())
+            .fold(f64::INFINITY, f64::min);
+        let double: f64 = (0..40)
+            .filter_map(|_| net.self_ping_via_proxy_rtt(client, proxy))
+            .map(|d| d.as_ms())
+            .fold(f64::INFINITY, f64::min);
+        let eta = direct / double;
+        assert!((eta - 0.5).abs() < 0.06, "η = {eta}");
+    }
+
+    #[test]
+    fn traceroute_stops_at_target() {
+        let (mut net, client, _, lm) = net();
+        let hops = net.traceroute(client, lm, 10);
+        assert_eq!(hops.len(), 3); // fra, par, target
+        assert_eq!(hops[2], Some(lm));
+    }
+
+    #[test]
+    fn traceroute_blind_spot() {
+        let (mut net, client, _, lm) = net();
+        // Suppress time-exceeded at every IXP: the trace shows only the
+        // final hop (as through a third of VPN tunnels, §4.2).
+        for id in [0u32, 1u32] {
+            net.topology_mut().node_mut(id).policy.drop_time_exceeded = true;
+        }
+        let hops = net.traceroute(client, lm, 10);
+        assert_eq!(hops[0], None);
+        assert_eq!(hops[1], None);
+        assert_eq!(hops[2], Some(lm));
+    }
+
+    #[test]
+    fn filtered_target_unmeasurable_by_ping_but_not_tcp() {
+        let (mut net, client, proxy, _) = net();
+        net.topology_mut().node_mut(proxy).policy = FilterPolicy::vpn_server();
+        assert!(net.ping(client, proxy).is_none());
+        assert!(net.tcp_connect_rtt(client, proxy, 443).is_some());
+    }
+
+    #[test]
+    fn min_of_n_decreases_with_n() {
+        let (mut net, client, _, lm) = net();
+        let one = net.min_of_n_rtt_ms(client, lm, 1).unwrap();
+        let many = net.min_of_n_rtt_ms(client, lm, 200).unwrap();
+        assert!(many <= one);
+        let floor = net.floor_rtt_ms(client, lm).unwrap();
+        assert!(many >= floor);
+    }
+
+    #[test]
+    fn first_hop_rtt_measures_the_access_leg() {
+        let (mut net, client, _, lm) = net();
+        // First hop from the client is the Frankfurt IXP: RTT ≈ 2×0.3 ms
+        // propagation plus overheads.
+        let rtt = net.first_hop_rtt(client, lm).expect("cooperative first hop");
+        assert!(rtt.as_ms() < 3.0, "{rtt}");
+        // Suppressing time-exceeded at the IXP hides the hop.
+        net.topology_mut().node_mut(0).policy.drop_time_exceeded = true;
+        assert!(net.first_hop_rtt(client, lm).is_none());
+        net.topology_mut().node_mut(0).policy.drop_time_exceeded = false;
+    }
+
+    #[test]
+    fn packet_trace_walks_the_route_and_back() {
+        let (mut net, client, _, lm) = net();
+        let (trace, rtt) = net.trace_tcp_connect(client, lm, 80);
+        assert!(rtt.is_some());
+        // SYN walks client → fra → par → lm; SYN-ACK walks back.
+        assert!(trace.len() >= 6, "only {} trace events", trace.len());
+        // First arrival is the first forwarding hop of the SYN; the final
+        // delivered event is the reply landing back at the client.
+        assert!(matches!(trace[0].kind, PacketKind::TcpSyn { .. }));
+        let last = trace.last().unwrap();
+        assert!(last.delivered);
+        assert_eq!(last.node, client);
+        assert_eq!(last.kind, PacketKind::TcpSynAck);
+        // Timestamps are non-decreasing.
+        for w in trace.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        // Exactly one delivery at the landmark.
+        assert_eq!(
+            trace
+                .iter()
+                .filter(|e| e.delivered && e.node == lm)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let build = || {
+            let (mut n, c, _, l) = net();
+            (0..10)
+                .filter_map(|_| n.tcp_connect_rtt(c, l, 80))
+                .map(|d| d.as_nanos())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,243 @@
+//! Shortest-path routing over the backbone, with per-source caching.
+//!
+//! Routing minimizes propagation delay (real interdomain routing does not,
+//! which is one source of circuitousness — we bake that circuitousness
+//! into link lengths instead, keeping routing itself simple and
+//! deterministic). Hosts hang off a single backbone attachment, so a
+//! host-to-host route is: access link, backbone shortest path, access link.
+
+use crate::topology::{NodeKind, Topology};
+use crate::NodeId;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Mutex;
+
+/// Shortest-path router with an interior-mutability cache of per-source
+/// Dijkstra trees (the study asks for many paths from few sources). The
+/// cache is behind a `Mutex` so a built network can be shared across test
+/// threads; there is no lock contention in normal single-threaded use.
+pub struct Router {
+    /// source → (dist_ms, predecessor) arrays over all nodes.
+    cache: Mutex<HashMap<NodeId, DijkstraTree>>,
+}
+
+#[derive(Debug, Clone)]
+struct DijkstraTree {
+    dist_ms: Vec<f64>,
+    prev: Vec<Option<NodeId>>,
+}
+
+impl Router {
+    /// Create a router for a topology.
+    pub fn new() -> Router {
+        Router {
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Drop all cached trees (call after mutating the topology).
+    pub fn invalidate(&self) {
+        self.cache.lock().expect("router cache poisoned").clear();
+    }
+
+    /// The node path from `src` to `dst` (inclusive of both), or `None`
+    /// if unreachable. Deterministic: ties are broken by node id.
+    pub fn path(&self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let mut cache = self.cache.lock().expect("router cache poisoned");
+        let tree = match cache.entry(src) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => e.insert(dijkstra(topo, src)),
+        };
+        if tree.dist_ms[dst as usize].is_infinite() {
+            return None;
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while let Some(p) = tree.prev[cur as usize] {
+            path.push(p);
+            cur = p;
+        }
+        debug_assert_eq!(*path.last().unwrap(), src);
+        path.reverse();
+        Some(path)
+    }
+
+    /// Total propagation distance (ms) of the shortest path, or `None` if
+    /// unreachable.
+    pub fn distance_ms(&self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<f64> {
+        if src == dst {
+            return Some(0.0);
+        }
+        let mut cache = self.cache.lock().expect("router cache poisoned");
+        let tree = match cache.entry(src) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => e.insert(dijkstra(topo, src)),
+        };
+        let d = tree.dist_ms[dst as usize];
+        if d.is_infinite() {
+            None
+        } else {
+            Some(d)
+        }
+    }
+}
+
+impl Default for Router {
+    fn default() -> Self {
+        Router::new()
+    }
+}
+
+/// Ordered heap entry (min-heap by distance; ties by node id for
+/// determinism).
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for a min-heap; distances are finite and non-NaN here.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("NaN distance in Dijkstra heap")
+            .then(other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn dijkstra(topo: &Topology, src: NodeId) -> DijkstraTree {
+    let n = topo.num_nodes();
+    let mut dist_ms = vec![f64::INFINITY; n];
+    let mut prev = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist_ms[src as usize] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: src,
+    });
+    while let Some(HeapEntry { dist, node }) = heap.pop() {
+        if dist > dist_ms[node as usize] {
+            continue; // stale entry
+        }
+        // Hosts do not forward transit traffic: expand a host's neighbours
+        // only when the host is the source.
+        if topo.node(node).kind == NodeKind::Host && node != src {
+            continue;
+        }
+        for &(link, next) in topo.neighbours(node) {
+            let nd = dist + topo.link(link).propagation_ms;
+            if nd < dist_ms[next as usize] {
+                dist_ms[next as usize] = nd;
+                prev[next as usize] = Some(node);
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: next,
+                });
+            }
+        }
+    }
+    DijkstraTree { dist_ms, prev }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{plain_node, NodeKind, Topology};
+    use geokit::GeoPoint;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon)
+    }
+
+    /// a—b—c with a slow direct a—c link; plus host h on a, host k on c.
+    fn diamond() -> (Topology, [NodeId; 5]) {
+        let mut t = Topology::new();
+        let a = t.add_node(plain_node(NodeKind::Ixp, p(0.0, 0.0)));
+        let b = t.add_node(plain_node(NodeKind::Ixp, p(0.0, 5.0)));
+        let c = t.add_node(plain_node(NodeKind::Ixp, p(0.0, 10.0)));
+        let h = t.add_node(plain_node(NodeKind::Host, p(0.1, 0.0)));
+        let k = t.add_node(plain_node(NodeKind::Host, p(0.1, 10.0)));
+        t.add_link(a, b, 2.0);
+        t.add_link(b, c, 2.0);
+        t.add_link(a, c, 10.0); // slower direct path
+        t.add_link(h, a, 0.5);
+        t.add_link(k, c, 0.5);
+        (t, [a, b, c, h, k])
+    }
+
+    #[test]
+    fn shortest_path_prefers_low_delay() {
+        let (t, [a, b, c, _, _]) = diamond();
+        let r = Router::new();
+        assert_eq!(r.path(&t, a, c), Some(vec![a, b, c]));
+        assert_eq!(r.distance_ms(&t, a, c), Some(4.0));
+    }
+
+    #[test]
+    fn host_to_host_via_backbone() {
+        let (t, [a, b, c, h, k]) = diamond();
+        let r = Router::new();
+        assert_eq!(r.path(&t, h, k), Some(vec![h, a, b, c, k]));
+        assert_eq!(r.distance_ms(&t, h, k), Some(5.0));
+    }
+
+    #[test]
+    fn hosts_do_not_transit() {
+        // h—a and h—c direct links would make h a shortcut if hosts
+        // forwarded traffic.
+        let mut t = Topology::new();
+        let a = t.add_node(plain_node(NodeKind::Ixp, p(0.0, 0.0)));
+        let c = t.add_node(plain_node(NodeKind::Ixp, p(0.0, 10.0)));
+        let h = t.add_node(plain_node(NodeKind::Host, p(0.0, 5.0)));
+        t.add_link(a, c, 10.0);
+        t.add_link(h, a, 1.0);
+        t.add_link(h, c, 1.0);
+        let r = Router::new();
+        assert_eq!(r.path(&t, a, c), Some(vec![a, c]));
+        // But the host can still originate traffic over either link.
+        assert_eq!(r.distance_ms(&t, h, c), Some(1.0));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut t = Topology::new();
+        let a = t.add_node(plain_node(NodeKind::Ixp, p(0.0, 0.0)));
+        let b = t.add_node(plain_node(NodeKind::Ixp, p(0.0, 5.0)));
+        let r = Router::new();
+        assert_eq!(r.path(&t, a, b), None);
+        assert_eq!(r.distance_ms(&t, a, b), None);
+    }
+
+    #[test]
+    fn trivial_self_path() {
+        let (t, [a, ..]) = diamond();
+        let r = Router::new();
+        assert_eq!(r.path(&t, a, a), Some(vec![a]));
+        assert_eq!(r.distance_ms(&t, a, a), Some(0.0));
+    }
+
+    #[test]
+    fn cache_survives_many_queries() {
+        let (t, [a, _, c, h, k]) = diamond();
+        let r = Router::new();
+        for _ in 0..100 {
+            assert!(r.path(&t, h, k).is_some());
+            assert!(r.path(&t, a, c).is_some());
+        }
+        r.invalidate();
+        assert!(r.path(&t, h, k).is_some());
+    }
+}

@@ -1,0 +1,475 @@
+//! The full §6 audit: build the world, deploy the providers, measure
+//! every proxy through its tunnel, locate it with CBG++, and judge every
+//! country claim.
+
+use crate::config::StudyConfig;
+use crate::providers::{DeployedProxy, ProviderSet};
+use atlas::{CalibrationDb, Constellation, LandmarkServer};
+use geokit::{GeoGrid, GeoPoint, Region};
+use geoloc::algorithms::CbgPlusPlus;
+use geoloc::assess::{assess_claim, Assessment, ClaimVerdict, ContinentVerdict};
+use geoloc::disambiguate::{by_data_centers, by_touched_sets, Disambiguation};
+use geoloc::iclab::{IclabChecker, IclabVerdict};
+use geoloc::proxy::{estimate_eta, EtaEstimate, ProxyContext, DEFAULT_ETA};
+use geoloc::twophase::{run_two_phase, ProxyProber};
+use geoloc::Geolocator;
+use netsim::{FilterPolicy, NodeId, WorldNet, WorldNetConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use worldmap::market::MarketSurvey;
+use worldmap::{Continent, CountryId, DataCenterRegistry, WorldAtlas};
+
+/// Everything the audit measured and concluded about one proxy.
+#[derive(Debug)]
+pub struct ProxyRecord {
+    /// The deployed proxy (ground truth included for evaluation; the
+    /// measurement pipeline never reads it).
+    pub proxy: DeployedProxy,
+    /// Continent inferred in phase 1.
+    pub continent_guess: Continent,
+    /// The raw CBG++ verdict on the provider's claim.
+    pub verdict: ClaimVerdict,
+    /// The verdict after data-center and co-location disambiguation.
+    pub refined: ClaimVerdict,
+    /// Data-center resolution of the prediction region, if unique.
+    pub dc_country: Option<CountryId>,
+    /// Prediction-region area, km².
+    pub region_area_km2: f64,
+    /// Prediction-region centroid.
+    pub centroid: Option<GeoPoint>,
+    /// Lightweight copies of the observations: (landmark, one-way ms).
+    pub observations: Vec<(GeoPoint, f64)>,
+    /// Minimum tunnel self-ping, ms.
+    pub self_ping_ms: f64,
+    /// ICLab checker verdict for the claim.
+    pub iclab: IclabVerdict,
+}
+
+/// The built study, ready to run.
+pub struct Study {
+    /// Configuration it was built from.
+    pub config: StudyConfig,
+    /// The simulated world (network + atlas).
+    pub world: WorldNet,
+    /// The landmark constellation.
+    pub constellation: Constellation,
+    /// Anchor-mesh calibration.
+    pub calibration: CalibrationDb,
+    /// The provider fleet.
+    pub providers: ProviderSet,
+    /// Data-center registry for disambiguation.
+    pub registry: DataCenterRegistry,
+    /// The market survey (Fig. 14 context).
+    pub survey: MarketSurvey,
+    /// The measurement client (Frankfurt).
+    pub client: NodeId,
+    /// Plausibility mask for predictions.
+    pub mask: Region,
+}
+
+/// Results of a full audit run.
+pub struct StudyResults {
+    /// One record per successfully measured proxy.
+    pub records: Vec<ProxyRecord>,
+    /// The η estimate used for tunnel-leg correction.
+    pub eta: Option<EtaEstimate>,
+    /// Proxies that could not be measured at all.
+    pub unmeasured: usize,
+}
+
+impl Study {
+    /// Build the world, constellation, calibration, and provider fleet.
+    pub fn build(config: StudyConfig) -> Study {
+        let grid = GeoGrid::new(config.grid_resolution_deg);
+        let atlas = Arc::new(WorldAtlas::new(grid));
+        let registry = DataCenterRegistry::from_atlas(&atlas);
+        let survey = MarketSurvey::generate(&atlas, config.seed ^ 0x5a1e5);
+        let mut world = WorldNet::build(
+            Arc::clone(&atlas),
+            WorldNetConfig {
+                seed: config.seed,
+                ..WorldNetConfig::default()
+            },
+        );
+        let constellation = Constellation::place(&mut world, &config.constellation);
+        let calibration =
+            CalibrationDb::collect(world.network_mut(), &constellation, config.calibration_pings);
+        let providers = ProviderSet::deploy(&mut world, &survey, &config);
+        let client = world.attach_host(config.client_location, FilterPolicy::default());
+        let mask = atlas.plausibility_mask().clone();
+        Study {
+            config,
+            world,
+            constellation,
+            calibration,
+            providers,
+            registry,
+            survey,
+            client,
+            mask,
+        }
+    }
+
+    /// Run the audit over every deployed proxy.
+    pub fn run(&mut self) -> StudyResults {
+        let atlas = Arc::clone(self.world.atlas());
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xaad17);
+
+        // η estimation over the pingable subset (§5.3, Fig. 13).
+        let pingable: Vec<NodeId> = self
+            .providers
+            .proxies
+            .iter()
+            .filter(|p| p.pingable)
+            .map(|p| p.node)
+            .collect();
+        let eta_est = estimate_eta(
+            self.world.network_mut(),
+            self.client,
+            &pingable,
+            self.config.self_ping_attempts,
+        );
+        let eta = eta_est.map_or(DEFAULT_ETA, |e| e.eta());
+
+        let checker = IclabChecker::default();
+        let locator = CbgPlusPlus;
+        let mut records: Vec<ProxyRecord> = Vec::with_capacity(self.providers.proxies.len());
+        let mut unmeasured = 0usize;
+
+        for proxy in self.providers.proxies.clone() {
+            let server = LandmarkServer::new(&self.constellation, &self.calibration, &atlas);
+            let Some(ctx) = ProxyContext::establish(
+                self.world.network_mut(),
+                self.client,
+                proxy.node,
+                eta,
+                self.config.self_ping_attempts,
+            ) else {
+                unmeasured += 1;
+                continue;
+            };
+            let mut prober = ProxyProber {
+                ctx,
+                attempts: self.config.attempts_per_landmark,
+            };
+            let Some(two_phase) =
+                run_two_phase(self.world.network_mut(), &server, &mut prober, &mut rng)
+            else {
+                unmeasured += 1;
+                continue;
+            };
+            drop(server);
+
+            let prediction = locator.locate(&two_phase.observations, &self.mask);
+            let verdict = assess_claim(&atlas, &prediction.region, proxy.claimed);
+
+            // Data-center disambiguation (Fig. 15).
+            let dc_country = match by_data_centers(&self.registry, &prediction.region) {
+                Disambiguation::Resolved(c) => Some(c),
+                Disambiguation::Unresolved => None,
+            };
+            let mut refined = verdict.clone();
+            if refined.assessment == Assessment::Uncertain {
+                if let Some(c) = dc_country {
+                    refined.assessment = if c == proxy.claimed {
+                        Assessment::Credible
+                    } else {
+                        Assessment::False
+                    };
+                }
+            }
+
+            let iclab = checker.check(&atlas, proxy.claimed, &two_phase.observations);
+            records.push(ProxyRecord {
+                continent_guess: two_phase.continent,
+                region_area_km2: prediction.region.area_km2(),
+                centroid: prediction.region.centroid(),
+                observations: two_phase
+                    .observations
+                    .iter()
+                    .map(|o| (o.landmark, o.one_way_ms))
+                    .collect(),
+                self_ping_ms: prober.ctx.self_ping_ms,
+                iclab,
+                verdict,
+                refined,
+                dc_country,
+                proxy,
+            });
+        }
+
+        // Co-location group disambiguation (Fig. 16): within a group, the
+        // true country must be common to every member's touched set.
+        apply_group_disambiguation(&mut records);
+
+        StudyResults {
+            records,
+            eta: eta_est,
+            unmeasured,
+        }
+    }
+}
+
+/// Resolve groups (same provider + AS + /24) whose members' regions share
+/// exactly one country; upgrade members' uncertain verdicts accordingly.
+fn apply_group_disambiguation(records: &mut [ProxyRecord]) {
+    use std::collections::HashMap;
+    let mut groups: HashMap<(usize, CountryId, usize), Vec<usize>> = HashMap::new();
+    for (i, r) in records.iter().enumerate() {
+        groups.entry(r.proxy.group_key).or_default().push(i);
+    }
+    for members in groups.values() {
+        if members.len() < 2 {
+            continue;
+        }
+        let touched_sets: Vec<Vec<CountryId>> = members
+            .iter()
+            .map(|&i| records[i].verdict.touched.iter().map(|&(c, _)| c).collect())
+            .collect();
+        let refs: Vec<&[CountryId]> = touched_sets.iter().map(Vec::as_slice).collect();
+        if let Disambiguation::Resolved(country) = by_touched_sets(&refs) {
+            for &i in members {
+                if records[i].refined.assessment == Assessment::Uncertain {
+                    records[i].refined.assessment = if country == records[i].proxy.claimed {
+                        Assessment::Credible
+                    } else {
+                        Assessment::False
+                    };
+                }
+            }
+        }
+    }
+}
+
+impl StudyResults {
+    /// (credible, uncertain, false) counts under a verdict selector.
+    pub fn counts(&self, refined: bool) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for r in &self.records {
+            let a = if refined {
+                r.refined.assessment
+            } else {
+                r.verdict.assessment
+            };
+            match a {
+                Assessment::Credible => c.0 += 1,
+                Assessment::Uncertain => c.1 += 1,
+                Assessment::False => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Fig. 17 row categories: (credible, uncertain-country
+    /// continent-credible, uncertain-both, false-country
+    /// continent-credible, false-country continent-uncertain,
+    /// continent-false), using refined verdicts.
+    pub fn fig17_categories(&self) -> [usize; 6] {
+        let mut out = [0usize; 6];
+        for r in &self.records {
+            let idx = match (r.refined.assessment, r.refined.continent) {
+                (Assessment::Credible, _) => 0,
+                (Assessment::Uncertain, ContinentVerdict::Credible) => 1,
+                (Assessment::Uncertain, _) => 2,
+                (Assessment::False, ContinentVerdict::Credible) => 3,
+                (Assessment::False, ContinentVerdict::Uncertain) => 4,
+                (Assessment::False, ContinentVerdict::False) => 5,
+            };
+            out[idx] += 1;
+        }
+        out
+    }
+
+    /// Agreement rate with provider claims per provider, for a verdict
+    /// mode: `generous` counts uncertain as agreement ("generous"), else
+    /// only credible ("strict") — Fig. 21's two CBG++ rows.
+    pub fn cbgpp_agreement(&self, provider: usize, generous: bool) -> f64 {
+        let (mut agree, mut total) = (0usize, 0usize);
+        for r in &self.records {
+            if r.proxy.provider != provider {
+                continue;
+            }
+            total += 1;
+            match r.refined.assessment {
+                Assessment::Credible => agree += 1,
+                Assessment::Uncertain if generous => agree += 1,
+                _ => {}
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            agree as f64 / total as f64
+        }
+    }
+
+    /// ICLab agreement rate per provider (accepted / total).
+    pub fn iclab_agreement(&self, provider: usize) -> f64 {
+        let (mut agree, mut total) = (0usize, 0usize);
+        for r in &self.records {
+            if r.proxy.provider != provider {
+                continue;
+            }
+            total += 1;
+            if r.iclab == IclabVerdict::Accepted {
+                agree += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            agree as f64 / total as f64
+        }
+    }
+
+    /// Evaluation-only ground-truth check: fraction of records whose
+    /// prediction covered the proxy's true country.
+    pub fn coverage_of_truth(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let covered = self
+            .records
+            .iter()
+            .filter(|r| {
+                r.verdict
+                    .touched
+                    .iter()
+                    .any(|&(c, _)| c == r.proxy.true_country)
+            })
+            .count();
+        covered as f64 / self.records.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, OnceLock};
+
+    fn results() -> &'static Mutex<(Study, StudyResults)> {
+        static S: OnceLock<Mutex<(Study, StudyResults)>> = OnceLock::new();
+        S.get_or_init(|| {
+            let mut study = Study::build(StudyConfig::small(41));
+            let results = study.run();
+            Mutex::new((study, results))
+        })
+    }
+
+    #[test]
+    fn nearly_all_proxies_are_measured() {
+        let g = results().lock().unwrap();
+        let (study, res) = &*g;
+        assert!(
+            res.records.len() + res.unmeasured == study.providers.proxies.len()
+        );
+        assert!(
+            res.records.len() * 10 >= study.providers.proxies.len() * 9,
+            "only {} of {} measured",
+            res.records.len(),
+            study.providers.proxies.len()
+        );
+    }
+
+    #[test]
+    fn eta_is_estimated_near_half() {
+        let g = results().lock().unwrap();
+        let (_, res) = &*g;
+        if let Some(eta) = res.eta {
+            assert!(
+                (eta.eta() - 0.5).abs() < 0.1,
+                "η = {} from {} samples",
+                eta.eta(),
+                eta.samples
+            );
+        }
+    }
+
+    #[test]
+    fn predictions_cover_the_true_country_mostly() {
+        // CBG++'s design goal: be certain the proxy is where we say it
+        // is. At small scale a few borderline regions are tolerable.
+        let g = results().lock().unwrap();
+        let (_, res) = &*g;
+        let cov = res.coverage_of_truth();
+        assert!(cov >= 0.8, "true-country coverage {cov}");
+    }
+
+    #[test]
+    fn verdict_mix_is_paper_shaped() {
+        // The headline: a sizeable fraction of claims false, a sizeable
+        // fraction credible/uncertain.
+        let g = results().lock().unwrap();
+        let (_, res) = &*g;
+        let (credible, uncertain, false_) = res.counts(true);
+        let total = credible + uncertain + false_;
+        assert!(total > 0);
+        assert!(
+            false_ * 5 >= total,
+            "too few false verdicts: {false_}/{total}"
+        );
+        assert!(
+            credible + uncertain > 0,
+            "no claim survived at all — miscalibrated pipeline"
+        );
+    }
+
+    #[test]
+    fn false_verdicts_are_usually_actually_false() {
+        // Precision check against ground truth: when the pipeline says
+        // "false", the provider claim should indeed be wrong nearly
+        // always (the paper's priority: never wrongly accuse).
+        let g = results().lock().unwrap();
+        let (_, res) = &*g;
+        let (mut right, mut total) = (0usize, 0usize);
+        for r in &res.records {
+            if r.refined.assessment == Assessment::False {
+                total += 1;
+                if r.proxy.claimed != r.proxy.true_country {
+                    right += 1;
+                }
+            }
+        }
+        if total > 0 {
+            let precision = right as f64 / total as f64;
+            assert!(precision >= 0.9, "false-verdict precision {precision}");
+        }
+    }
+
+    #[test]
+    fn refinement_only_resolves_uncertainty() {
+        let g = results().lock().unwrap();
+        let (_, res) = &*g;
+        for r in &res.records {
+            if r.verdict.assessment != Assessment::Uncertain {
+                assert_eq!(r.verdict.assessment, r.refined.assessment);
+            }
+        }
+        let (_, u_raw, _) = res.counts(false);
+        let (_, u_ref, _) = res.counts(true);
+        assert!(u_ref <= u_raw, "refinement increased uncertainty");
+    }
+
+    #[test]
+    fn fig17_categories_partition_records() {
+        let g = results().lock().unwrap();
+        let (_, res) = &*g;
+        let cats = res.fig17_categories();
+        assert_eq!(cats.iter().sum::<usize>(), res.records.len());
+    }
+
+    #[test]
+    fn agreement_rates_are_probabilities() {
+        let g = results().lock().unwrap();
+        let (study, res) = &*g;
+        for p in 0..study.providers.profiles.len() {
+            let strict = res.cbgpp_agreement(p, false);
+            let generous = res.cbgpp_agreement(p, true);
+            assert!((0.0..=1.0).contains(&strict));
+            assert!(generous >= strict);
+            let iclab = res.iclab_agreement(p);
+            assert!((0.0..=1.0).contains(&iclab));
+        }
+    }
+}

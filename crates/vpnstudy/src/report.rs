@@ -1,0 +1,196 @@
+//! Plain-text rendering of the study's headline tables.
+//!
+//! The bench harness regenerates each figure's *data*; these renderers
+//! produce the human-readable summary a release would print.
+
+use crate::audit::{Study, StudyResults};
+use crate::confusion::ConfusionMatrix;
+use crate::ipdb::paper_databases;
+use geoloc::assess::Assessment;
+use std::fmt::Write as _;
+
+/// The Fig. 17-style overall assessment block.
+pub fn render_overall(study: &Study, results: &StudyResults) -> String {
+    let mut out = String::new();
+    let (c0, u0, f0) = results.counts(false);
+    let (c1, u1, f1) = results.counts(true);
+    let total = results.records.len();
+    let _ = writeln!(out, "proxies measured: {total} (unmeasured: {})", results.unmeasured);
+    if let Some(eta) = &results.eta {
+        let _ = writeln!(
+            out,
+            "eta = {:.3} (R² = {:.4}, {} pingable proxies)",
+            eta.eta(),
+            eta.r_squared,
+            eta.samples
+        );
+    }
+    let _ = writeln!(out, "assessment (no DCs): credible {c0}  uncertain {u0}  false {f0}");
+    let _ = writeln!(out, "assessment (final) : credible {c1}  uncertain {u1}  false {f1}");
+    let cats = results.fig17_categories();
+    let labels = [
+        "credible",
+        "country uncertain, continent credible",
+        "country and continent uncertain",
+        "country false, continent credible",
+        "country false, continent uncertain",
+        "continent false",
+    ];
+    for (label, count) in labels.iter().zip(cats) {
+        let _ = writeln!(out, "  {label:<40} {count:>6}");
+    }
+    let _ = writeln!(
+        out,
+        "ground-truth honesty (hidden from pipeline): {:.1} %",
+        study.providers.ground_truth_honesty() * 100.0
+    );
+    out
+}
+
+/// The Fig. 21 comparison table: per provider, agreement of CBG++
+/// (generous/strict), ICLab, and the five IP databases with the
+/// provider's claims.
+pub fn render_fig21(study: &Study, results: &StudyResults) -> String {
+    let mut out = String::new();
+    let names: Vec<char> = study.providers.profiles.iter().map(|p| p.name).collect();
+    let _ = write!(out, "{:<18}", "method");
+    for n in &names {
+        let _ = write!(out, "{n:>7}");
+    }
+    let _ = writeln!(out);
+    let mut row = |label: &str, f: &dyn Fn(usize) -> f64| {
+        let _ = write!(out, "{label:<18}");
+        for p in 0..names.len() {
+            let _ = write!(out, "{:>6.0}%", f(p) * 100.0);
+        }
+        let _ = writeln!(out);
+    };
+    row("CBG++ (generous)", &|p| results.cbgpp_agreement(p, true));
+    row("CBG++ (strict)", &|p| results.cbgpp_agreement(p, false));
+    row("ICLab", &|p| results.iclab_agreement(p));
+    for db in paper_databases() {
+        let db2 = db.clone();
+        row(db.name, &move |p| {
+            let (mut agree, mut total) = (0usize, 0usize);
+            for r in &results.records {
+                if r.proxy.provider != p {
+                    continue;
+                }
+                total += 1;
+                if db2.agrees_with_claim(&r.proxy) {
+                    agree += 1;
+                }
+            }
+            if total == 0 {
+                0.0
+            } else {
+                agree as f64 / total as f64
+            }
+        });
+    }
+    out
+}
+
+/// Per-provider, per-country honesty table (Figs. 18–19 data): for each
+/// provider and claimed country, the fraction of that provider's claims
+/// there that CBG++ backs up at least partially (credible or uncertain).
+pub fn render_provider_country_honesty(
+    study: &Study,
+    results: &StudyResults,
+    max_countries: usize,
+) -> String {
+    let atlas = study.world.atlas();
+    // Most-claimed countries first (by server count across providers).
+    let mut by_country: std::collections::HashMap<usize, (usize, usize)> =
+        std::collections::HashMap::new();
+    for r in &results.records {
+        let e = by_country.entry(r.proxy.claimed).or_default();
+        e.1 += 1;
+        if r.refined.assessment != Assessment::False {
+            e.0 += 1;
+        }
+    }
+    let mut order: Vec<usize> = by_country.keys().copied().collect();
+    order.sort_by_key(|c| std::cmp::Reverse(by_country[c].1));
+    order.truncate(max_countries);
+
+    let mut out = String::new();
+    let _ = write!(out, "{:<10}", "provider");
+    for &c in &order {
+        let _ = write!(out, "{:>5}", atlas.country(c).iso2());
+    }
+    let _ = writeln!(out);
+    for (pidx, profile) in study.providers.profiles.iter().enumerate() {
+        let _ = write!(out, "{:<10}", profile.name);
+        for &c in &order {
+            let (mut ok, mut total) = (0usize, 0usize);
+            for r in &results.records {
+                if r.proxy.provider == pidx && r.proxy.claimed == c {
+                    total += 1;
+                    if r.refined.assessment != Assessment::False {
+                        ok += 1;
+                    }
+                }
+            }
+            if total == 0 {
+                let _ = write!(out, "{:>5}", "-");
+            } else {
+                let _ = write!(out, "{:>4.0}%", 100.0 * ok as f64 / total as f64);
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Render a confusion matrix as an aligned text table (trimmed to
+/// non-empty axes, capped at `max_axis` labels for readability).
+pub fn render_confusion(matrix: &ConfusionMatrix, max_axis: usize) -> String {
+    let m = matrix.trimmed();
+    let n = m.n().min(max_axis);
+    let mut out = String::new();
+    let _ = write!(out, "{:<24}", "");
+    for j in 0..n {
+        let _ = write!(out, "{:>7}", truncate(&m.labels[j], 6));
+    }
+    let _ = writeln!(out);
+    for i in 0..n {
+        let _ = write!(out, "{:<24}", truncate(&m.labels[i], 23));
+        for j in 0..n {
+            let _ = write!(out, "{:>7}", m.at(i, j));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    s.chars().take(n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncate_respects_char_boundaries() {
+        assert_eq!(truncate("ålandia", 3), "åla");
+        assert_eq!(truncate("ab", 6), "ab");
+    }
+
+    #[test]
+    fn render_confusion_formats() {
+        let m = ConfusionMatrix {
+            labels: vec!["Europe".into(), "Africa".into()],
+            counts: vec![5, 2, 2, 3],
+        };
+        let s = render_confusion(&m, 10);
+        assert!(s.contains("Europe"));
+        assert!(s.contains('5'));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 rows
+    }
+
+    // The study-level renderers are exercised by the integration test
+    // and the figures binary, which build a full (small) study.
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! # worldmap — the coarse world atlas substrate
+//!
+//! The paper grounds its claim-checking in the 2012 Natural Earth map of
+//! the world: country outlines, a land/ocean mask, and the polar exclusions
+//! of Eriksson et al. ("on land, and not in Antarctica", §3). It also uses
+//! the University of Wisconsin Internet Atlas data-center list (§6,
+//! Fig. 15) and a VPN.com market survey of which countries 157 providers
+//! claim (Fig. 14).
+//!
+//! This crate is our from-scratch substitute for all three data sources:
+//!
+//! * [`data`] — a hand-authored table of ~200 countries and territories,
+//!   each described as a union of spherical caps and lat/lon boxes around
+//!   its true centroid, with its continent (following the paper's
+//!   Appendix A conventions: Turkey and Russia with Europe, the Middle
+//!   East with Africa, Mexico and the Caribbean with Central America,
+//!   Malaysia and New Zealand with Oceania, Australia its own continent),
+//!   a hosting-ease score, and population/hosting hub cities.
+//! * [`WorldAtlas`] — the queryable atlas: a painted cell→country map on a
+//!   shared [`geokit::GeoGrid`], the land mask, the geolocation
+//!   plausibility mask (land, south of 85° N, north of 60° S), country
+//!   rasterizations, and distance-to-country queries.
+//! * [`datacenters`] — a registry of data-center locations derived from
+//!   hub cities of hosting-friendly countries (the Fig. 15/16
+//!   disambiguation source).
+//! * [`market`] — the synthetic VPN-market claim survey behind Fig. 14.
+//!
+//! Country outlines are deliberately coarse (country-membership is decided
+//! at grid-cell resolution); the study only ever evaluates *country-level*
+//! claims, as the paper does (§6: "we only evaluate country-level claims").
+
+pub mod atlas;
+pub mod continent;
+pub mod country;
+pub mod data;
+pub mod datacenters;
+pub mod market;
+
+pub use atlas::WorldAtlas;
+pub use continent::Continent;
+pub use country::{Country, CountryId};
+pub use datacenters::{DataCenter, DataCenterRegistry};
+
+/// Latitude above which no host can plausibly be (paper §3: "exclude all
+/// terrain north of 85° N").
+pub const MAX_PLAUSIBLE_LAT: f64 = 85.0;
+
+/// Latitude below which no host can plausibly be (paper §3: "south of
+/// 60° S" — Antarctica).
+pub const MIN_PLAUSIBLE_LAT: f64 = -60.0;

@@ -1,0 +1,51 @@
+//! The paper's §6 study, miniaturized: audit seven VPN providers' country
+//! claims and print the headline tables (Figs. 17, 21, 22).
+//!
+//! ```sh
+//! cargo run --release --example vpn_audit            # small, seconds
+//! cargo run --release --example vpn_audit -- medium  # ~a minute
+//! ```
+
+use proxy_verifier::vpnstudy::confusion::continent_confusion;
+use proxy_verifier::vpnstudy::report;
+use proxy_verifier::{Study, StudyConfig};
+
+fn main() {
+    let medium = std::env::args().nth(1).as_deref() == Some("medium");
+    let config = if medium {
+        StudyConfig {
+            total_proxies: 500,
+            ..StudyConfig::small(99)
+        }
+    } else {
+        StudyConfig::small(99)
+    };
+    println!(
+        "building the study ({} proxies, {} anchors)…",
+        config.total_proxies,
+        config
+            .constellation
+            .anchors_per_continent
+            .iter()
+            .sum::<usize>()
+    );
+    let mut study = Study::build(config);
+    println!("running the audit…");
+    let results = study.run();
+
+    println!("\n=== overall assessment (Fig. 17) ===");
+    print!("{}", report::render_overall(&study, &results));
+
+    println!("\n=== method agreement with provider claims (Fig. 21) ===");
+    print!("{}", report::render_fig21(&study, &results));
+
+    println!("\n=== honesty by provider × country (Fig. 18) ===");
+    print!(
+        "{}",
+        report::render_provider_country_honesty(&study, &results, 14)
+    );
+
+    println!("\n=== continent confusion (Fig. 22) ===");
+    let m = continent_confusion(study.world.atlas(), &results);
+    print!("{}", report::render_confusion(&m, 8));
+}

@@ -1,0 +1,37 @@
+//! Reproducibility: the entire study is a pure function of its seed.
+
+use proxy_verifier::vpnstudy::{Study, StudyConfig};
+use proxy_verifier::Assessment;
+
+fn digest(seed: u64) -> Vec<(u32, usize, usize, u8, u64)> {
+    let mut study = Study::build(StudyConfig::small(seed));
+    let results = study.run();
+    results
+        .records
+        .iter()
+        .map(|r| {
+            let a = match r.refined.assessment {
+                Assessment::Credible => 0u8,
+                Assessment::Uncertain => 1,
+                Assessment::False => 2,
+            };
+            (
+                r.proxy.node,
+                r.proxy.claimed,
+                r.proxy.true_country,
+                a,
+                r.region_area_km2.to_bits(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn same_seed_same_study_bit_for_bit() {
+    assert_eq!(digest(77), digest(77));
+}
+
+#[test]
+fn different_seeds_differ() {
+    assert_ne!(digest(77), digest(78));
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the network simulator's invariants.
+
+use netsim::topology::{plain_node, NodeKind, Topology};
+use netsim::{Network, NodeId};
+use proptest::prelude::*;
+
+/// Build a random connected backbone of `n` IXPs (a random spanning tree
+/// plus some extra chords) with hosts hanging off random IXPs.
+fn random_world(
+    n_ixps: usize,
+    chords: &[(usize, usize)],
+    hosts: &[usize],
+) -> (Topology, Vec<NodeId>, Vec<NodeId>) {
+    let mut topo = Topology::new();
+    let ixps: Vec<NodeId> = (0..n_ixps)
+        .map(|i| {
+            let lat = -60.0 + 120.0 * (i as f64 * 0.37).fract();
+            let lon = -180.0 + 360.0 * (i as f64 * 0.61).fract();
+            topo.add_node(plain_node(NodeKind::Ixp, geokit::GeoPoint::new(lat, lon)))
+        })
+        .collect();
+    // Spanning tree: node i links to a previous node.
+    for i in 1..n_ixps {
+        let parent = (i * 7) % i;
+        let d = topo
+            .node(ixps[i])
+            .location
+            .distance_km(&topo.node(ixps[parent]).location);
+        topo.add_link(ixps[i], ixps[parent], (d / 200.0).max(0.1));
+    }
+    for &(a, b) in chords {
+        let (a, b) = (a % n_ixps, b % n_ixps);
+        if a == b || topo.neighbours(ixps[a]).iter().any(|&(_, n)| n == ixps[b]) {
+            continue;
+        }
+        let d = topo
+            .node(ixps[a])
+            .location
+            .distance_km(&topo.node(ixps[b]).location);
+        topo.add_link(ixps[a], ixps[b], (d / 150.0).max(0.1));
+    }
+    let host_ids: Vec<NodeId> = hosts
+        .iter()
+        .map(|&h| {
+            let ixp = ixps[h % n_ixps];
+            let loc = topo.node(ixp).location;
+            let host = topo.add_node(plain_node(NodeKind::Host, loc));
+            topo.add_link(host, ixp, 0.4);
+            host
+        })
+        .collect();
+    (topo, ixps, host_ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_pair_is_reachable_and_rtt_respects_the_floor(
+        n in 3usize..12,
+        chords in prop::collection::vec((0usize..12, 0usize..12), 0..8),
+        hosts in prop::collection::vec(0usize..12, 2..5),
+        seed in 0u64..1000,
+    ) {
+        let (topo, _, host_ids) = random_world(n, &chords, &hosts);
+        let mut net = Network::new(topo, seed);
+        for i in 0..host_ids.len() {
+            for j in 0..host_ids.len() {
+                if i == j {
+                    continue;
+                }
+                let floor = net.floor_rtt_ms(host_ids[i], host_ids[j])
+                    .expect("spanning tree keeps the world connected");
+                let sample = net.sample_rtt_ms(host_ids[i], host_ids[j]).unwrap();
+                prop_assert!(sample >= floor - 1e-9, "sample {sample} < floor {floor}");
+                let des = net
+                    .tcp_connect_rtt(host_ids[i], host_ids[j], 80)
+                    .expect("reachable");
+                prop_assert!(des.as_ms() >= floor - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rtt_floor_is_symmetric(
+        n in 3usize..12,
+        chords in prop::collection::vec((0usize..12, 0usize..12), 0..8),
+        hosts in prop::collection::vec(0usize..12, 2..4),
+    ) {
+        let (topo, _, host_ids) = random_world(n, &chords, &hosts);
+        let net = Network::new(topo, 1);
+        for i in 0..host_ids.len() {
+            for j in (i + 1)..host_ids.len() {
+                let ab = net.floor_rtt_ms(host_ids[i], host_ids[j]).unwrap();
+                let ba = net.floor_rtt_ms(host_ids[j], host_ids[i]).unwrap();
+                prop_assert!((ab - ba).abs() < 1e-9, "{ab} vs {ba}");
+            }
+        }
+    }
+
+    #[test]
+    fn proxied_rtt_at_least_sum_of_leg_floors(
+        n in 4usize..10,
+        chords in prop::collection::vec((0usize..10, 0usize..10), 0..6),
+        hosts in prop::collection::vec(0usize..10, 3..4),
+        seed in 0u64..100,
+    ) {
+        let (topo, _, host_ids) = random_world(n, &chords, &hosts);
+        let mut net = Network::new(topo, seed);
+        let (client, proxy, landmark) = (host_ids[0], host_ids[1], host_ids[2]);
+        let leg1 = net.floor_rtt_ms(client, proxy).unwrap();
+        let leg2 = net.floor_rtt_ms(proxy, landmark).unwrap();
+        if let Some(via) = net.tcp_connect_via_proxy_rtt(client, proxy, landmark, 80) {
+            prop_assert!(
+                via.as_ms() >= leg1 + leg2 - 1e-6,
+                "via {} < {leg1} + {leg2}",
+                via.as_ms()
+            );
+        }
+    }
+
+    #[test]
+    fn traceroute_hops_form_a_prefix_of_the_route(
+        n in 3usize..10,
+        chords in prop::collection::vec((0usize..10, 0usize..10), 0..6),
+        hosts in prop::collection::vec(0usize..10, 2..3),
+    ) {
+        let (topo, _, host_ids) = random_world(n, &chords, &hosts);
+        let mut net = Network::new(topo, 3);
+        let (a, b) = (host_ids[0], host_ids[1]);
+        let hops = net.traceroute(a, b, 32);
+        prop_assert!(!hops.is_empty());
+        // Cooperative world: every hop responds and the last is the
+        // target itself.
+        prop_assert_eq!(*hops.last().unwrap(), Some(b));
+        for h in &hops {
+            prop_assert!(h.is_some());
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the world atlas invariants.
+
+use geokit::{GeoGrid, GeoPoint};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use worldmap::WorldAtlas;
+
+fn atlas() -> &'static WorldAtlas {
+    static A: OnceLock<WorldAtlas> = OnceLock::new();
+    A.get_or_init(|| WorldAtlas::new(GeoGrid::new(1.0)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn painted_country_is_geometrically_nearby(
+        lat in -60.0f64..84.0,
+        lon in -180.0f64..180.0,
+    ) {
+        // If the painted map says a point belongs to a country, the
+        // country's outline must be within one coarse cell of the point
+        // (painting is by cell centre; ownership can bleed half a cell).
+        let a = atlas();
+        let p = GeoPoint::new(lat, lon);
+        if let Some(id) = a.country_of_point(&p) {
+            let d = a.distance_to_country_km(&p, id);
+            prop_assert!(
+                d < 170.0,
+                "painted {} but outline {d:.0} km away",
+                a.country(id).iso2()
+            );
+        }
+    }
+
+    #[test]
+    fn plausibility_mask_is_a_subset_of_land(cell in 0u32..64800) {
+        let a = atlas();
+        if a.plausibility_mask().contains_cell(cell) {
+            prop_assert!(a.land().contains_cell(cell));
+            let p = a.grid().center(cell);
+            prop_assert!(p.lat() <= worldmap::MAX_PLAUSIBLE_LAT);
+            prop_assert!(p.lat() >= worldmap::MIN_PLAUSIBLE_LAT);
+        }
+    }
+
+    #[test]
+    fn sampled_host_locations_stay_in_country(
+        country_pick in 0usize..200,
+        jitter in 0.0f64..300.0,
+        seed in 0u64..500,
+    ) {
+        use rand::SeedableRng;
+        let a = atlas();
+        let id = country_pick % a.num_countries();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = a.sample_point_in_country(id, jitter, &mut rng);
+        // The sampler's contract: the point lands in the country's
+        // *painted cells* (the canonical membership definition), or is
+        // the capital fallback, which sits on the geometric outline even
+        // when coarse-grid shadowing stole its cell.
+        let painted_ok = a.country_of_point(&p) == Some(id);
+        let capital_ok = a.country(id).distance_from_km(&p) < 1.0;
+        prop_assert!(
+            painted_ok || capital_ok,
+            "sampled {p} neither painted as nor at the capital of {}",
+            a.country(id).iso2()
+        );
+    }
+
+    #[test]
+    fn countries_touched_matches_cell_ownership(
+        lat in -55.0f64..75.0,
+        lon in -180.0f64..180.0,
+        radius in 200.0f64..1500.0,
+    ) {
+        let a = atlas();
+        let cap = geokit::SphericalCap::new(GeoPoint::new(lat, lon), radius);
+        let region = geokit::Region::from_cap(a.grid(), &cap).intersection(a.land());
+        let touched = a.countries_touched(&region);
+        // Areas are positive and sum to the region's land area.
+        let sum: f64 = touched.iter().map(|&(_, area)| area).sum();
+        prop_assert!((sum - region.area_km2()).abs() < 1e-6 * sum.max(1.0));
+        for &(c, area) in &touched {
+            prop_assert!(area > 0.0);
+            prop_assert!(c < a.num_countries());
+        }
+    }
+}
