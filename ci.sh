@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Tier-1 gate, run exactly as CI runs it: fully offline against an empty
+# registry. The workspace has zero external dependencies, so this must
+# succeed on a clean checkout with no network.
+set -eu
+
+export CARGO_NET_OFFLINE=true
+
+cargo build --release --offline
+cargo test -q --offline

@@ -9,8 +9,8 @@
 
 use geokit::GeoPoint;
 use netsim::{FilterPolicy, NodeId, WorldNet};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use simrng::rngs::StdRng;
+use simrng::SeedableRng;
 use worldmap::{Continent, CountryId};
 
 /// Index of a landmark within its [`Constellation`].

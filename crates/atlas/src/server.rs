@@ -13,7 +13,7 @@
 
 use crate::calibration::CalibrationDb;
 use crate::constellation::{Constellation, LandmarkId};
-use rand::Rng;
+use simrng::Rng;
 use worldmap::{Continent, WorldAtlas};
 
 /// Number of anchors per continent used in phase 1.
@@ -140,7 +140,7 @@ fn sample_without_replacement<R: Rng + ?Sized>(
     k: usize,
     rng: &mut R,
 ) -> Vec<LandmarkId> {
-    use rand::RngExt;
+    use simrng::RngExt;
     let mut v: Vec<LandmarkId> = pool.to_vec();
     let k = k.min(v.len());
     for i in 0..k {
@@ -157,8 +157,8 @@ mod tests {
     use crate::constellation::ConstellationConfig;
     use geokit::GeoGrid;
     use netsim::{WorldNet, WorldNetConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use simrng::rngs::StdRng;
+    use simrng::SeedableRng;
     use std::sync::{Arc, OnceLock};
 
     struct Fixture {

@@ -18,7 +18,7 @@
 
 use geokit::sampling;
 use netsim::{Network, NodeId};
-use rand::Rng;
+use simrng::Rng;
 
 /// One measured landmark RTT, as delivered to a geolocation algorithm.
 #[derive(Debug, Clone, Copy)]
@@ -195,8 +195,8 @@ mod tests {
     use super::*;
     use netsim::topology::{plain_node, NodeKind, Topology};
     use netsim::FilterPolicy;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use simrng::rngs::StdRng;
+    use simrng::SeedableRng;
 
     /// client — IXP — two landmarks (one with port 80 open, one closed).
     fn net() -> (Network, NodeId, NodeId, NodeId) {

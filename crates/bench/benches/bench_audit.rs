@@ -2,14 +2,15 @@
 //! two-phase measurement, CBG++, assessment) on a prebuilt small world.
 
 use bench::{build_study_context, Scale};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Criterion;
+use bench::{criterion_group, criterion_main};
 use geoloc::algorithms::CbgPlusPlus;
 use geoloc::assess::assess_claim;
 use geoloc::proxy::ProxyContext;
 use geoloc::twophase::{run_two_phase, ProxyProber};
 use geoloc::Geolocator;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use simrng::rngs::StdRng;
+use simrng::SeedableRng;
 use std::hint::black_box;
 
 fn bench_single_proxy(c: &mut Criterion) {

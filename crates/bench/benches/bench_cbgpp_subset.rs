@@ -1,7 +1,8 @@
 //! CBG++ subset-search scaling: the fast path (consistent disks) vs the
 //! counting sweep (an inconsistent disk forces the per-cell popcount).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Criterion;
+use bench::{criterion_group, criterion_main};
 use geokit::{GeoGrid, GeoPoint, Region};
 use geoloc::multilateration::{max_consistent_subset, RingConstraint};
 use std::hint::black_box;

@@ -2,7 +2,8 @@
 //! envelopes, and Spotter cubics over a 250-point anchor mesh set.
 
 use atlas::CalibrationSet;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Criterion;
+use bench::{criterion_group, criterion_main};
 use geoloc::delay_model::{CbgModel, OctantModel, SpotterModel};
 use std::hint::black_box;
 

@@ -1,6 +1,7 @@
 //! Geodesy primitive costs: the per-cell work every multilateration pays.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use bench::harness::{BatchSize, Criterion};
+use bench::{criterion_group, criterion_main};
 use geokit::{GeoGrid, GeoPoint, Region, SphericalCap};
 use std::hint::black_box;
 

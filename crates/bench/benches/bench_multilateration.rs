@@ -1,7 +1,8 @@
 //! Multilateration engine costs: disk/ring intersection and Bayesian
 //! posterior vs landmark count and grid resolution.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Criterion;
+use bench::{criterion_group, criterion_main};
 use geokit::{GeoGrid, GeoPoint, Region};
 use geoloc::delay_model::SpotterModel;
 use geoloc::multilateration::{bayes_region, intersect_constraints, RingConstraint};

@@ -2,7 +2,8 @@
 //! packet-level DES measurement, and routing cost.
 
 use atlas::{Constellation, ConstellationConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Criterion;
+use bench::{criterion_group, criterion_main};
 use geokit::GeoGrid;
 use netsim::{WorldNet, WorldNetConfig};
 use std::hint::black_box;

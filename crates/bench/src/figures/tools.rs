@@ -6,8 +6,8 @@ use crate::scale::CrowdContext;
 use atlas::{Browser, CliTool, MeasurementOs, WebTool};
 use geokit::regress::{ols_line, r_squared};
 use netsim::FilterPolicy;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use simrng::rngs::StdRng;
+use simrng::SeedableRng;
 use std::fmt::Write as _;
 
 /// Samples of (distance, rtt) labelled with tool and true round trips.

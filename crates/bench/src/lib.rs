@@ -5,6 +5,7 @@
 //! text-rendering helpers (ASCII CDFs, aligned tables).
 
 pub mod figures;
+pub mod harness;
 pub mod render;
 pub mod scale;
 

@@ -24,7 +24,7 @@
 //! * [`stats`] — ECDFs, percentiles, and summary statistics used to render
 //!   the paper's CDF figures.
 //! * [`sampling`] — deterministic samplers (normal, lognormal, exponential,
-//!   Pareto) built on a seeded [`rand::Rng`], used by the network simulator;
+//!   Pareto) built on a seeded [`simrng::Rng`], used by the network simulator;
 //!   the `rand` crate's distribution companions are not in our dependency
 //!   budget, so these are implemented from first principles.
 //!

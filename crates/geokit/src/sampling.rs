@@ -1,4 +1,4 @@
-//! Deterministic random samplers built directly on [`rand::Rng`].
+//! Deterministic random samplers built directly on [`simrng::Rng`].
 //!
 //! The network simulator needs normal, lognormal, exponential, and Pareto
 //! draws for queueing and congestion delays. The `rand_distr` companion
@@ -6,7 +6,7 @@
 //! first principles (Box–Muller and inverse-CDF transforms). All functions
 //! take the RNG explicitly: the entire project is seeded and reproducible.
 
-use rand::{Rng, RngExt};
+use simrng::{Rng, RngExt};
 
 /// A uniform draw in the open interval (0, 1): never exactly 0, so it is
 /// safe to take logarithms of.
@@ -105,8 +105,8 @@ pub fn coin<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
 mod tests {
     use super::*;
     use crate::stats::{mean, std_dev};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use simrng::rngs::StdRng;
+    use simrng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x5eed)

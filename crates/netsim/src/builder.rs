@@ -28,8 +28,8 @@ use crate::policy::FilterPolicy;
 use crate::topology::{Node, NodeKind, Topology};
 use crate::NodeId;
 use geokit::GeoPoint;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use simrng::rngs::StdRng;
+use simrng::{RngExt, SeedableRng};
 use std::sync::Arc;
 use worldmap::{Continent, WorldAtlas};
 
@@ -295,7 +295,7 @@ impl WorldNet {
             policy: host_policy,
             congestion: ixp_node.congestion * self.attach_rng.random_range(0.9..1.4),
         });
-        let inflation = self.attach_rng.random_range(1.2..2.2);
+        let inflation = self.attach_rng.random_range(1.2f64..2.2);
         let last_mile_ms = self.attach_rng.random_range(0.1..0.8);
         let prop_ms = (dist * inflation).max(2.0) / geokit::FIBER_SPEED_KM_PER_MS + last_mile_ms;
         topo.add_link(gateway, ixp, prop_ms);
@@ -321,7 +321,7 @@ impl WorldNet {
             policy,
             congestion: ixp_node.congestion * self.attach_rng.random_range(0.9..1.4),
         });
-        let inflation = self.attach_rng.random_range(1.2..2.2);
+        let inflation = self.attach_rng.random_range(1.2f64..2.2);
         let last_mile_ms = self.attach_rng.random_range(0.1..0.8);
         let prop_ms = (dist * inflation).max(2.0) / geokit::FIBER_SPEED_KM_PER_MS + last_mile_ms;
         topo.add_link(host, ixp, prop_ms);

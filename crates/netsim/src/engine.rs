@@ -30,7 +30,7 @@ use crate::routing::Router;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
 use crate::NodeId;
-use rand::Rng;
+use simrng::Rng;
 use std::collections::BinaryHeap;
 
 /// Unique id of one probe (measurement attempt).
@@ -494,8 +494,8 @@ mod tests {
     use crate::policy::FilterPolicy;
     use crate::topology::{plain_node, NodeKind, Topology};
     use geokit::GeoPoint;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use simrng::rngs::StdRng;
+    use simrng::SeedableRng;
 
     struct World {
         topo: Topology,

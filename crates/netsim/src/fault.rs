@@ -9,7 +9,7 @@
 
 use crate::NodeId;
 use geokit::sampling;
-use rand::Rng;
+use simrng::Rng;
 use std::collections::HashMap;
 
 /// Per-run fault configuration. Default: no faults.
@@ -70,8 +70,8 @@ impl FaultPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use simrng::rngs::StdRng;
+    use simrng::SeedableRng;
 
     #[test]
     fn default_is_faultless() {

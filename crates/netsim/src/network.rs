@@ -15,8 +15,8 @@ use crate::routing::Router;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
 use crate::NodeId;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use simrng::rngs::StdRng;
+use simrng::SeedableRng;
 
 /// A simulated network ready to be measured.
 pub struct Network {

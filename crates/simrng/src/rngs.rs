@@ -1,0 +1,164 @@
+//! The workspace's standard generator: **xoshiro256++**.
+//!
+//! Chosen over a cryptographic generator deliberately: the workspace
+//! needs speed and bit-stability, not unpredictability — every stream is
+//! meant to be reproducible from its seed forever. xoshiro256++ passes
+//! BigCrush, runs in a handful of cycles per draw, and its reference
+//! implementation is public domain, so the exact stream is pinned here
+//! in ~20 lines of code with golden-value tests below.
+
+use crate::{Rng, SeedableRng};
+
+/// The standard deterministic generator (xoshiro256++, 256-bit state).
+///
+/// The name mirrors `rand`'s `rngs::StdRng` so migrated call sites read
+/// identically, but unlike `rand`'s `StdRng` the algorithm is part of
+/// this type's contract: the stream for a given seed never changes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// xoshiro256++ state update + output (Blackman & Vigna reference).
+    #[inline]
+    fn step(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        if s == [0; 4] {
+            // The all-zero state is xoshiro's single fixed point (the
+            // generator would emit zeros forever). Re-derive a non-zero
+            // state deterministically instead.
+            let mut sm = 0u64;
+            for slot in &mut s {
+                *slot = crate::splitmix64(&mut sm);
+            }
+        }
+        StdRng { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::StdRng;
+    use crate::{Rng, RngExt, SeedableRng};
+
+    /// First 8 raw outputs of `seed_from_u64(0)`. These constants pin
+    /// the SplitMix64 seed expansion *and* the xoshiro256++ stream; if
+    /// either ever changes, every seeded simulation result in the
+    /// workspace changes with it, so this must fail loudly.
+    #[test]
+    fn golden_stream_seed_from_u64_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let got: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                5987356902031041503,
+                7051070477665621255,
+                6633766593972829180,
+                211316841551650330,
+                9136120204379184874,
+                379361710973160858,
+                15813423377499357806,
+                15596884590815070553,
+            ],
+            "xoshiro256++ stream for seed_from_u64(0) drifted"
+        );
+    }
+
+    /// First 8 raw outputs of `from_seed` with the byte pattern
+    /// `[1, 2, ..., 32]`: pins the little-endian seed-to-state layout.
+    #[test]
+    fn golden_stream_from_seed_bytes() {
+        let seed: [u8; 32] = core::array::from_fn(|i| i as u8 + 1);
+        let mut rng = StdRng::from_seed(seed);
+        let got: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                1807936947047830803,
+                4873493614538268319,
+                6980743253695434945,
+                13903725973053519161,
+                17075790794672956120,
+                3279976986118854398,
+                2935800566036955589,
+                8265996066668659593,
+            ],
+            "xoshiro256++ stream for from_seed drifted"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(0xfeed);
+        let mut b = StdRng::seed_from_u64(0xfeed);
+        for _ in 0..1_000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let a8: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let b8: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(a8, b8);
+    }
+
+    #[test]
+    fn all_zero_seed_is_not_degenerate() {
+        let mut rng = StdRng::from_seed([0u8; 32]);
+        let draws: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
+        assert!(draws.iter().any(|&v| v != 0));
+    }
+
+    #[test]
+    fn clone_forks_the_stream_identically() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let _ = rng.next_u64();
+        let mut fork = rng.clone();
+        for _ in 0..100 {
+            assert_eq!(rng.next_u64(), fork.next_u64());
+        }
+    }
+
+    #[test]
+    fn float_draws_are_deterministic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let first: f64 = rng.random();
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let first2: f64 = rng2.random();
+        assert_eq!(first.to_bits(), first2.to_bits());
+    }
+}

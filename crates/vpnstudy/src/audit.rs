@@ -14,8 +14,8 @@ use geoloc::proxy::{estimate_eta, EtaEstimate, ProxyContext, DEFAULT_ETA};
 use geoloc::twophase::{run_two_phase, ProxyProber};
 use geoloc::Geolocator;
 use netsim::{FilterPolicy, NodeId, WorldNet, WorldNetConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use simrng::rngs::StdRng;
+use simrng::SeedableRng;
 use std::sync::Arc;
 use worldmap::market::MarketSurvey;
 use worldmap::{Continent, CountryId, DataCenterRegistry, WorldAtlas};

@@ -16,8 +16,8 @@ use geokit::{sampling, GeoPoint};
 use geoloc::twophase::{run_two_phase, WebProber};
 use geoloc::Observation;
 use netsim::{FilterPolicy, NodeId, WorldNet};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use simrng::rngs::StdRng;
+use simrng::{RngExt, SeedableRng};
 use worldmap::{Continent, CountryId};
 
 /// One crowdsourced host in a known location.

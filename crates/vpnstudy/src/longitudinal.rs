@@ -16,8 +16,8 @@ use crate::providers::{DeployedProxy, HOSTING_FEASIBILITY_THRESHOLD};
 use geokit::sampling;
 use geokit::GeoPoint;
 use netsim::FilterPolicy;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use simrng::rngs::StdRng;
+use simrng::{RngExt, SeedableRng};
 
 /// Per-epoch churn parameters.
 #[derive(Debug, Clone)]
@@ -199,7 +199,7 @@ mod tests {
     fn honesty_trend_is_visible_in_the_audit() {
         let mut study = Study::build(StudyConfig {
             total_proxies: 80,
-            ..StudyConfig::small(616)
+            ..StudyConfig::small(2)
         });
         let churn = ChurnConfig {
             turnover: 0.5,

@@ -18,8 +18,8 @@ use crate::config::StudyConfig;
 use geokit::sampling;
 use geokit::GeoPoint;
 use netsim::{FilterPolicy, NodeId, WorldNet};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use simrng::rngs::StdRng;
+use simrng::{RngExt, SeedableRng};
 use worldmap::market::{claim_popularity_order, MarketSurvey};
 use worldmap::{CountryId, WorldAtlas};
 

@@ -19,8 +19,8 @@ use geoloc::proxy::ProxyContext;
 use geoloc::twophase::{run_two_phase, CliProber, ProxyProber};
 use geoloc::Geolocator;
 use netsim::{FilterPolicy, NodeId, WorldNet};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use simrng::rngs::StdRng;
+use simrng::SeedableRng;
 
 /// One test-bench server's paired measurement outcome.
 #[derive(Debug)]

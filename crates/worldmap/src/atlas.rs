@@ -15,7 +15,7 @@ use crate::data::all_countries;
 use crate::{MAX_PLAUSIBLE_LAT, MIN_PLAUSIBLE_LAT};
 use geokit::grid::CellId;
 use geokit::{GeoGrid, GeoPoint, Region};
-use rand::{Rng, RngExt};
+use simrng::{Rng, RngExt};
 use std::sync::Arc;
 
 /// Sentinel in the painted map for "ocean / no country".
@@ -272,8 +272,8 @@ fn paint_shape<F: FnMut(CellId)>(grid: &Arc<GeoGrid>, shape: &geokit::Shape, mut
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use simrng::rngs::StdRng;
+    use simrng::SeedableRng;
     use std::sync::OnceLock;
 
     /// Shared atlas: building at 0.5° is fast but not free, so tests share.

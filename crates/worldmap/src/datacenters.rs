@@ -41,8 +41,8 @@ impl DataCenterRegistry {
     /// ("only one country has data centers inside the region") is only
     /// sound when well-hosted countries are thickly covered.
     pub fn from_atlas(atlas: &WorldAtlas) -> DataCenterRegistry {
-        use rand::rngs::StdRng;
-        use rand::{RngExt, SeedableRng};
+        use simrng::rngs::StdRng;
+        use simrng::{RngExt, SeedableRng};
         // Fixed internal seed: the registry is a world fact, not a
         // per-study random variable.
         let mut rng = StdRng::seed_from_u64(0xdc_5172);

@@ -18,8 +18,8 @@
 
 use crate::atlas::WorldAtlas;
 use crate::country::CountryId;
-use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use simrng::rngs::StdRng;
+use simrng::{Rng, RngExt, SeedableRng};
 
 /// One provider row of the market survey.
 #[derive(Debug, Clone)]
@@ -57,7 +57,7 @@ impl MarketSurvey {
             let swaps = (count / 10).min(n_countries - count);
             for s in 0..swaps {
                 let victim = rng.random_range(count / 2..count);
-                let replacement = count + ((s * 31 + rng.random_range(0..7)) % (n_countries - count));
+                let replacement = count + ((s * 31 + rng.random_range(0..7usize)) % (n_countries - count));
                 claimed[victim] = popularity[replacement];
             }
             claimed.sort_unstable();

@@ -19,8 +19,8 @@ use proxy_verifier::vpnstudy::colocation::{detect_same_lan_groups, SAME_LAN_RTT_
 use proxy_verifier::vpnstudy::{ProviderSet, StudyConfig};
 use proxy_verifier::worldmap::market::MarketSurvey;
 use proxy_verifier::{CbgPlusPlus, GeoGrid, WorldAtlas};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use simrng::rngs::StdRng;
+use simrng::SeedableRng;
 use std::sync::Arc;
 
 fn main() {

@@ -16,8 +16,8 @@ use proxy_verifier::geoloc::proxy::ProxyContext;
 use proxy_verifier::geoloc::twophase::{run_two_phase, ProxyProber};
 use proxy_verifier::netsim::{FilterPolicy, WorldNet, WorldNetConfig};
 use proxy_verifier::{CbgPlusPlus, GeoGrid, GeoPoint, Geolocator, WorldAtlas};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use simrng::rngs::StdRng;
+use simrng::SeedableRng;
 use std::sync::Arc;
 
 fn main() {

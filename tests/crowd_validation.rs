@@ -21,7 +21,7 @@ fn fixture() -> &'static Fixture {
         let config = StudyConfig {
             crowd_volunteers: 10,
             crowd_workers: 30,
-            ..StudyConfig::small(9182)
+            ..StudyConfig::small(4242)
         };
         let atlas = Arc::new(WorldAtlas::new(GeoGrid::new(config.grid_resolution_deg)));
         let mut world = proxy_verifier::netsim::WorldNet::build(

@@ -35,3 +35,21 @@ fn same_seed_same_study_bit_for_bit() {
 fn different_seeds_differ() {
     assert_ne!(digest(77), digest(78));
 }
+
+/// End-to-end check on the in-repo RNG substrate: two fully independent
+/// studies built from the same `StudyConfig` seed must agree on every
+/// audit verdict count, both for the single-round and the refined pass.
+#[test]
+fn same_seed_same_verdict_counts() {
+    let counts = |seed: u64| {
+        let mut study = Study::build(StudyConfig::small(seed));
+        let results = study.run();
+        (results.counts(false), results.counts(true))
+    };
+    let (initial_a, refined_a) = counts(41);
+    let (initial_b, refined_b) = counts(41);
+    assert_eq!(initial_a, initial_b, "initial-pass verdict counts diverged");
+    assert_eq!(refined_a, refined_b, "refined-pass verdict counts diverged");
+    let (c, u, f) = refined_a;
+    assert!(c + u + f > 0, "study produced no verdicts");
+}

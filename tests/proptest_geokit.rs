@@ -2,7 +2,7 @@
 
 use geokit::hull::{lower_hull, PiecewiseLinear};
 use geokit::{GeoGrid, GeoPoint, Region, SphericalCap};
-use proptest::prelude::*;
+use simrng::prop::prelude::*;
 
 fn arb_point() -> impl Strategy<Value = GeoPoint> {
     (-89.0f64..89.0, -180.0f64..180.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))

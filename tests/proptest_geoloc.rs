@@ -6,7 +6,7 @@ use geoloc::delay_model::{CbgModel, OctantModel};
 use geoloc::multilateration::{intersect_constraints, max_consistent_subset, RingConstraint};
 use geoloc::{Geolocator, Observation};
 use geokit::{GeoGrid, GeoPoint, Region};
-use proptest::prelude::*;
+use simrng::prop::prelude::*;
 
 fn arb_point() -> impl Strategy<Value = GeoPoint> {
     (-80.0f64..80.0, -180.0f64..180.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
@@ -141,5 +141,78 @@ proptest! {
         // And CBG++ is at least as inclusive as CBG here.
         let plain = Cbg.locate(&observations, &mask);
         prop_assert!(plain.region.is_subset_of(&pp.region));
+    }
+}
+
+/// Regression inputs pinned by the retired external-`proptest` runs
+/// (formerly `tests/proptest_geoloc.proptest-regressions`). Each shrunk
+/// counterexample is re-encoded as an explicit named case so it stays
+/// exercised without any generated-seed machinery.
+mod regressions {
+    use super::*;
+
+    /// The assertions of `cbg_fit_is_feasible_and_subluminal` and
+    /// `octant_envelope_is_ordered`, applied to one pinned input.
+    fn assert_fit_invariants(set: &CalibrationSet, t: f64) {
+        let cbg = CbgModel::calibrate(set);
+        assert!(cbg.speed_km_per_ms() <= geokit::FIBER_SPEED_KM_PER_MS + 1e-9);
+        for &(x, y) in set.points() {
+            assert!(y + 1e-9 >= cbg.intercept_ms + cbg.slope_ms_per_km * x);
+        }
+        let slow = CbgModel::calibrate_with_slowline(set);
+        assert!(slow.speed_km_per_ms() <= geokit::FIBER_SPEED_KM_PER_MS + 1e-9);
+        assert!(slow.speed_km_per_ms() >= geokit::SLOWLINE_SPEED_KM_PER_MS - 1e-9);
+        let octant = OctantModel::calibrate(set);
+        assert!(octant.min_distance_km(t) <= octant.max_distance_km(t) + 1e-6);
+        assert!(octant.min_distance_km(t) >= 0.0);
+    }
+
+    /// proptest cc 8a43bb21…: a scatter dominated by a near-zero
+    /// short-range cluster with a handful of long-haul points, probed
+    /// at t ≈ 162.9 ms.
+    #[test]
+    fn pinned_cluster_heavy_calibration_at_163ms() {
+        let set = CalibrationSet::from_points(vec![
+            (50.0, 0.6348547790551468),
+            (50.0, 0.6348547790551468),
+            (12582.611525619173, 159.76262120067406),
+            (50.0, 0.6348547790551468),
+            (7246.152098475441, 92.00508578955227),
+            (50.0, 0.6348547790551468),
+            (5300.5162260743, 88.59171702561076),
+            (8716.842313017683, 110.67858001378791),
+            (8782.237029924334, 111.50890298485082),
+            (13900.221198488616, 176.49243715568315),
+            (6213.249538949283, 116.14509857561632),
+            (50.0, 0.6348547790551468),
+            (50.0, 0.6348547790551468),
+            (50.0, 0.6348547790551468),
+            (50.0, 0.6348547790551468),
+            (50.0, 0.6348547790551468),
+            (50.0, 0.6348547790551468),
+            (50.0, 0.6348547790551468),
+            (50.0, 0.6348547790551468),
+            (50.0, 0.6348547790551468),
+            (50.0, 26.382200206738435),
+            (11314.592571558724, 143.66246334231835),
+            (8676.980181218585, 121.73939531703678),
+            (50.0, 35.339620143514466),
+            (10092.908452424672, 128.15062331175776),
+            (14582.062376679183, 185.1498397663006),
+            (14536.224557960106, 184.5678326007952),
+        ]);
+        assert_fit_invariants(&set, 162.92326821212077);
+    }
+
+    /// proptest cc 755dc6a0…: a minimal three-point scatter probed at
+    /// the envelope's lower edge (t = 0.5 ms).
+    #[test]
+    fn pinned_three_point_calibration_at_envelope_floor() {
+        let set = CalibrationSet::from_points(vec![
+            (4211.646409721719, 70.19410682869531),
+            (50.0, 0.8333333333333334),
+            (11110.451746078998, 205.7667689738686),
+        ]);
+        assert_fit_invariants(&set, 0.5);
     }
 }

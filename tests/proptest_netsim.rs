@@ -2,7 +2,7 @@
 
 use netsim::topology::{plain_node, NodeKind, Topology};
 use netsim::{Network, NodeId};
-use proptest::prelude::*;
+use simrng::prop::prelude::*;
 
 /// Build a random connected backbone of `n` IXPs (a random spanning tree
 /// plus some extra chords) with hosts hanging off random IXPs.
