@@ -8,3 +8,7 @@ export CARGO_NET_OFFLINE=true
 
 cargo build --release --offline
 cargo test -q --offline
+
+# Reliability smoke: the audit under probe loss + landmark outages must
+# stay deterministic and account for every proxy.
+cargo test -q --offline --test fault_campaign

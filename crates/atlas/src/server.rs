@@ -126,7 +126,7 @@ impl<'a> LandmarkServer<'a> {
             .min_by(|(_, a), (_, b)| {
                 let da = a.location.distance_km(&here);
                 let db = b.location.distance_km(&here);
-                da.partial_cmp(&db).expect("finite distances")
+                da.total_cmp(&db)
             })
             .map(|(i, _)| i)
             .expect("constellation has anchors");

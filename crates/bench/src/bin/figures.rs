@@ -35,6 +35,7 @@ const FIGURES: &[(&str, &str)] = &[
     ("fig23", "country confusion matrix"),
     ("headline", "the paper's headline numbers"),
     ("ablation", "CBG++ design-choice ablations (not a paper figure)"),
+    ("faults", "fault sweep: verdicts under loss + outages (not a paper figure)"),
 ];
 
 fn main() {
@@ -133,6 +134,7 @@ fn main() {
             "fig23" => figures::fig23_country_confusion(study_ctx(&mut study, scale)),
             "headline" => figures::headline_numbers(study_ctx(&mut study, scale)),
             "ablation" => figures::ablation_cbgpp(crowd_ctx(&mut crowd, scale)),
+            "faults" => figures::fault_sweep(scale),
             _ => unreachable!("validated above"),
         };
         match &out_dir {

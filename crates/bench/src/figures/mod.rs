@@ -7,12 +7,14 @@
 
 pub mod ablation;
 pub mod calibration;
+pub mod faultsweep;
 pub mod market;
 pub mod study;
 pub mod tools;
 pub mod validation;
 
 pub use ablation::{ablation_cbgpp, fig3_fig8_maps};
+pub use faultsweep::fault_sweep;
 pub use calibration::{fig10_estimate_ratios, fig2_calibration};
 pub use market::fig14_market;
 pub use study::{

@@ -228,11 +228,14 @@ pub fn fig7_tool_semantics(ctx: &mut CrowdContext) -> String {
         .world
         .network_mut()
         .trace_tcp_connect(client, open.node, 80);
+    // Timestamps relative to the probe's injection (the persistent sim
+    // clock no longer starts each probe at t = 0).
+    let t0 = trace.first().map_or(netsim::SimTime::ZERO, |e| e.at);
     for e in &trace {
         let _ = writeln!(
             out,
             "#   t={:>9.3} ms  node {:>5}  {:<24} {}",
-            e.at.since(netsim::SimTime::ZERO).as_ms(),
+            e.at.since(t0).as_ms(),
             e.node,
             format!("{:?}", e.kind),
             if e.delivered { "(delivered)" } else { "(forwarded)" }

@@ -40,6 +40,7 @@ impl Scale {
                 client_location: geokit::GeoPoint::new(50.11, 8.68),
                 crowd_volunteers: 15,
                 crowd_workers: 55,
+                reliability: geoloc::ReliabilityConfig::default(),
             },
             Scale::Paper => StudyConfig::paper(),
         }

@@ -22,6 +22,10 @@
 //!   landmarks.
 //! * [`proxy`] — proxy adaptation (§5.3): tunnel self-ping, η estimation
 //!   (robust regression), and indirect-RTT correction.
+//! * [`reliability`] — the measurement reliability layer: per-probe
+//!   retries with seeded exponential backoff, method fallback
+//!   (ping → TCP connect, §4.2), quorum-degraded two-phase runs, and
+//!   explicit diagnostics on every result.
 //! * [`assess`] — country-claim assessment: *credible / uncertain / false*
 //!   (§6), with continent-level refinements.
 //! * [`disambiguate`] — the data-center and AS+/24 metadata
@@ -38,8 +42,13 @@ pub mod iclab;
 pub mod multilateration;
 pub mod observation;
 pub mod proxy;
+pub mod reliability;
 pub mod twophase;
 
 pub use algorithms::{Geolocator, Prediction};
 pub use assess::Assessment;
 pub use observation::Observation;
+pub use reliability::{
+    MeasurementDiagnostics, ProbeScheduler, ReliabilityConfig, RetryPolicy,
+};
+pub use twophase::{MeasurementStatus, ReliableTwoPhase};

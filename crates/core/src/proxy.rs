@@ -76,9 +76,16 @@ fn min_of<F: FnMut() -> Option<f64>>(attempts: usize, mut f: F) -> Option<f64> {
 }
 
 /// Correct a through-proxy RTT to an estimated proxy↔landmark RTT:
-/// `A = B − η·C`, floored at zero.
+/// `A = B − η·C`, floored at zero. A non-finite input stays non-finite
+/// (`f64::max` would silently turn NaN into 0.0 — the tightest possible
+/// constraint — so a corrupted reading must survive to be filtered
+/// upstream, not be laundered into fake precision).
 pub fn correct_indirect_rtt(measured_ms: f64, self_ping_ms: f64, eta: f64) -> f64 {
-    (measured_ms - eta * self_ping_ms).max(0.0)
+    let corrected = measured_ms - eta * self_ping_ms;
+    if !corrected.is_finite() {
+        return f64::NAN;
+    }
+    corrected.max(0.0)
 }
 
 /// Everything needed to measure landmarks *through* one proxy: the
@@ -126,10 +133,23 @@ impl ProxyContext {
         landmark: NodeId,
         attempts: usize,
     ) -> Option<f64> {
+        self.measure_landmark_port(network, landmark, 80, attempts)
+    }
+
+    /// [`measure_landmark`](ProxyContext::measure_landmark) on an
+    /// explicit port — the reliability layer's fallback uses 443 when a
+    /// landmark rate-limits or filters port 80.
+    pub fn measure_landmark_port(
+        &self,
+        network: &mut Network,
+        landmark: NodeId,
+        port: u16,
+        attempts: usize,
+    ) -> Option<f64> {
         let raw = min_of(attempts, || {
-            network
-                .tcp_connect_via_proxy_rtt(self.client, self.proxy, landmark, 80)
-                .map(|d| d.as_ms())
+            let d = network
+                .tcp_connect_via_proxy_rtt(self.client, self.proxy, landmark, port)?;
+            Some(network.corrupt_rtt_ms(d.as_ms()))
         })?;
         Some(correct_indirect_rtt(raw, self.self_ping_ms, self.eta))
     }

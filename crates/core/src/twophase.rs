@@ -8,6 +8,7 @@
 
 use crate::observation::Observation;
 use crate::proxy::ProxyContext;
+use crate::reliability::{MeasurementDiagnostics, ProbeScheduler, ReliabilityConfig};
 use atlas::{LandmarkServer, RttSample, WebTool};
 use netsim::{Network, NodeId};
 use simrng::rngs::StdRng;
@@ -21,6 +22,14 @@ pub trait RttProber {
     /// One corrected RTT measurement to `landmark`, ms, or `None` if the
     /// landmark was unreachable/filtered.
     fn probe(&mut self, network: &mut Network, landmark: NodeId) -> Option<f64>;
+
+    /// Alternate measurement method, tried by the reliability layer when
+    /// the primary method's retry budget is spent (§4.2: when ping gets
+    /// no answer, a TCP connect to a port that always answers still
+    /// measures the round trip). Default: no fallback available.
+    fn probe_fallback(&mut self, _network: &mut Network, _landmark: NodeId) -> Option<f64> {
+        None
+    }
 }
 
 /// Direct measurement with the CLI tool: min of `attempts` TCP connects.
@@ -32,16 +41,59 @@ pub struct CliProber {
     pub attempts: usize,
 }
 
-impl RttProber for CliProber {
-    fn probe(&mut self, network: &mut Network, landmark: NodeId) -> Option<f64> {
+impl CliProber {
+    fn min_connect(&self, network: &mut Network, landmark: NodeId, port: u16) -> Option<f64> {
         let mut best: Option<f64> = None;
         for _ in 0..self.attempts {
-            if let Some(d) = network.tcp_connect_rtt(self.client, landmark, 80) {
-                let ms = d.as_ms();
+            if let Some(d) = network.tcp_connect_rtt(self.client, landmark, port) {
+                let ms = network.corrupt_rtt_ms(d.as_ms());
                 best = Some(best.map_or(ms, |b: f64| b.min(ms)));
             }
         }
         best
+    }
+}
+
+impl RttProber for CliProber {
+    fn probe(&mut self, network: &mut Network, landmark: NodeId) -> Option<f64> {
+        self.min_connect(network, landmark, 80)
+    }
+
+    fn probe_fallback(&mut self, network: &mut Network, landmark: NodeId) -> Option<f64> {
+        self.min_connect(network, landmark, 443)
+    }
+}
+
+/// ICMP-echo measurement with a TCP fallback: the classic research-tool
+/// configuration (§4.2 — ping is cheapest, but ~90 % of VPN servers and
+/// many landmarks filter it, so TCP connect is the method of last
+/// resort that "always works").
+#[derive(Debug, Clone, Copy)]
+pub struct PingProber {
+    /// Measuring host.
+    pub client: NodeId,
+    /// Echo attempts per landmark (minimum taken).
+    pub attempts: usize,
+}
+
+impl RttProber for PingProber {
+    fn probe(&mut self, network: &mut Network, landmark: NodeId) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for _ in 0..self.attempts {
+            if let Some(d) = network.ping(self.client, landmark) {
+                let ms = network.corrupt_rtt_ms(d.as_ms());
+                best = Some(best.map_or(ms, |b: f64| b.min(ms)));
+            }
+        }
+        best
+    }
+
+    fn probe_fallback(&mut self, network: &mut Network, landmark: NodeId) -> Option<f64> {
+        CliProber {
+            client: self.client,
+            attempts: self.attempts,
+        }
+        .probe(network, landmark)
     }
 }
 
@@ -88,6 +140,13 @@ impl RttProber for ProxyProber {
     fn probe(&mut self, network: &mut Network, landmark: NodeId) -> Option<f64> {
         self.ctx.measure_landmark(network, landmark, self.attempts)
     }
+
+    fn probe_fallback(&mut self, network: &mut Network, landmark: NodeId) -> Option<f64> {
+        // Port 443: a landmark rate-limiting or filtering port 80 still
+        // answers its TLS port.
+        self.ctx
+            .measure_landmark_port(network, landmark, 443, self.attempts)
+    }
 }
 
 /// Result of a two-phase measurement run.
@@ -100,6 +159,148 @@ pub struct TwoPhaseResult {
     pub observations: Vec<Observation>,
 }
 
+/// How a reliability-aware measurement run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeasurementStatus {
+    /// Enough landmarks answered for the result to be trusted.
+    Ok,
+    /// Some landmarks answered, but fewer than the configured minimum —
+    /// the partial result is reported but must not back a verdict.
+    InsufficientData,
+    /// Nothing answered at all.
+    Unmeasurable,
+}
+
+/// A two-phase run with explicit failure accounting.
+#[derive(Debug)]
+pub struct ReliableTwoPhase {
+    /// The measurement, when anything answered (present even under
+    /// `InsufficientData` so callers can inspect the partial evidence).
+    pub result: Option<TwoPhaseResult>,
+    /// How the run ended.
+    pub status: MeasurementStatus,
+    /// What it took to get there.
+    pub diagnostics: MeasurementDiagnostics,
+}
+
+/// Degradation knobs for the shared engine: the legacy path uses
+/// `quorum = 1, min = 0, sweep = false`, which reproduces the original
+/// control flow exactly (same probes, same RNG stream, same output).
+struct InnerConfig {
+    phase1_quorum: usize,
+    sweep_on_quorum_miss: bool,
+}
+
+struct InnerOutcome {
+    result: Option<TwoPhaseResult>,
+    phase1_responsive: usize,
+    phase1_total: usize,
+    quorum_degraded: bool,
+}
+
+fn two_phase_inner<P: RttProber, R: Rng + ?Sized>(
+    network: &mut Network,
+    server: &LandmarkServer<'_>,
+    prober: &mut P,
+    rng: &mut R,
+    cfg: &InnerConfig,
+) -> InnerOutcome {
+    let landmarks = server.constellation().landmarks();
+    let continent_of =
+        |id: usize| server.atlas().country(landmarks[id].country).continent();
+
+    // Phase 1: three anchors per continent; fastest answer wins.
+    let phase1 = server.phase1_landmarks();
+    let phase1_total = phase1.len();
+    let mut best: Option<(f64, Continent)> = None;
+    let mut phase1_obs: Vec<(usize, f64)> = Vec::new();
+    for id in phase1 {
+        let Some(rtt) = prober.probe(network, landmarks[id].node) else {
+            continue;
+        };
+        let continent = continent_of(id);
+        phase1_obs.push((id, rtt));
+        if best.is_none_or(|(b, _)| rtt < b) {
+            best = Some((rtt, continent));
+        }
+    }
+    let phase1_responsive = phase1_obs.len();
+    let quorum_met = phase1_responsive >= cfg.phase1_quorum.max(1);
+
+    let mut observations = Vec::new();
+    let mut seen = vec![false; landmarks.len()];
+
+    if quorum_met {
+        // Trusted continent guess: the original §4.1 procedure.
+        let (_, continent) = best.expect("quorum met implies an answer");
+        for (id, rtt) in phase1_obs {
+            if continent_of(id) == continent {
+                observations.push(make_observation(server, id, rtt));
+                seen[id] = true;
+            }
+        }
+        for id in server.phase2_landmarks(continent, rng) {
+            if seen[id] {
+                continue;
+            }
+            if let Some(rtt) = prober.probe(network, landmarks[id].node) {
+                observations.push(make_observation(server, id, rtt));
+            }
+        }
+        return InnerOutcome {
+            result: Some(TwoPhaseResult {
+                continent,
+                observations,
+            }),
+            phase1_responsive,
+            phase1_total,
+            quorum_degraded: false,
+        };
+    }
+
+    if !cfg.sweep_on_quorum_miss {
+        // Legacy behaviour (quorum = 1): a miss means nothing answered.
+        return InnerOutcome {
+            result: None,
+            phase1_responsive,
+            phase1_total,
+            quorum_degraded: false,
+        };
+    }
+
+    // Quorum missed: the continent guess rests on too few anchors (or
+    // none). Degrade loudly — keep whatever phase 1 produced and sweep a
+    // phase-2 draw from *every* continent, then take the continent of the
+    // fastest responder overall.
+    for &(id, rtt) in &phase1_obs {
+        observations.push(make_observation(server, id, rtt));
+        seen[id] = true;
+    }
+    for &continent in Continent::ALL.iter() {
+        for id in server.phase2_landmarks(continent, rng) {
+            if seen[id] {
+                continue;
+            }
+            seen[id] = true;
+            if let Some(rtt) = prober.probe(network, landmarks[id].node) {
+                if best.is_none_or(|(b, _)| rtt < b) {
+                    best = Some((rtt, continent_of(id)));
+                }
+                observations.push(make_observation(server, id, rtt));
+            }
+        }
+    }
+    InnerOutcome {
+        result: best.map(|(_, continent)| TwoPhaseResult {
+            continent,
+            observations,
+        }),
+        phase1_responsive,
+        phase1_total,
+        quorum_degraded: true,
+    }
+}
+
 /// Run the two-phase procedure.
 ///
 /// Returns `None` when phase 1 yields no usable measurement at all (a
@@ -110,48 +311,56 @@ pub fn run_two_phase<P: RttProber, R: Rng + ?Sized>(
     prober: &mut P,
     rng: &mut R,
 ) -> Option<TwoPhaseResult> {
-    let landmarks = server.constellation().landmarks();
+    two_phase_inner(
+        network,
+        server,
+        prober,
+        rng,
+        &InnerConfig {
+            phase1_quorum: 1,
+            sweep_on_quorum_miss: false,
+        },
+    )
+    .result
+}
 
-    // Phase 1: three anchors per continent; fastest answer wins.
-    let mut best: Option<(f64, Continent)> = None;
-    let mut phase1_obs: Vec<(usize, f64)> = Vec::new();
-    for id in server.phase1_landmarks() {
-        let Some(rtt) = prober.probe(network, landmarks[id].node) else {
-            continue;
-        };
-        let continent = server
-            .atlas()
-            .country(landmarks[id].country)
-            .continent();
-        phase1_obs.push((id, rtt));
-        if best.is_none_or(|(b, _)| rtt < b) {
-            best = Some((rtt, continent));
+/// Run the two-phase procedure under a reliability policy: the prober is
+/// a [`ProbeScheduler`] (retries, backoff, fallback), a missed phase-1
+/// quorum degrades to an all-continent sweep instead of trusting a thin
+/// continent guess, and the outcome always carries diagnostics.
+pub fn run_two_phase_reliable<P: RttProber, R: Rng + ?Sized>(
+    network: &mut Network,
+    server: &LandmarkServer<'_>,
+    scheduler: &mut ProbeScheduler<P>,
+    rng: &mut R,
+    cfg: &ReliabilityConfig,
+) -> ReliableTwoPhase {
+    let outcome = two_phase_inner(
+        network,
+        server,
+        scheduler,
+        rng,
+        &InnerConfig {
+            phase1_quorum: cfg.phase1_quorum,
+            sweep_on_quorum_miss: true,
+        },
+    );
+    let mut diagnostics = scheduler.take_diagnostics();
+    diagnostics.phase1_responsive = outcome.phase1_responsive;
+    diagnostics.phase1_total = outcome.phase1_total;
+    diagnostics.quorum_degraded = outcome.quorum_degraded;
+    let status = match &outcome.result {
+        None => MeasurementStatus::Unmeasurable,
+        Some(r) if r.observations.len() < cfg.phase2_min_landmarks => {
+            MeasurementStatus::InsufficientData
         }
+        Some(_) => MeasurementStatus::Ok,
+    };
+    ReliableTwoPhase {
+        result: outcome.result,
+        status,
+        diagnostics,
     }
-    let (_, continent) = best?;
-
-    // Phase 2: 25 random landmarks on that continent (anchors + probes).
-    let mut observations = Vec::new();
-    let mut seen: Vec<usize> = Vec::new();
-    for (id, rtt) in phase1_obs {
-        let c = server.atlas().country(landmarks[id].country).continent();
-        if c == continent {
-            observations.push(make_observation(server, id, rtt));
-            seen.push(id);
-        }
-    }
-    for id in server.phase2_landmarks(continent, rng) {
-        if seen.contains(&id) {
-            continue;
-        }
-        if let Some(rtt) = prober.probe(network, landmarks[id].node) {
-            observations.push(make_observation(server, id, rtt));
-        }
-    }
-    Some(TwoPhaseResult {
-        continent,
-        observations,
-    })
 }
 
 fn make_observation(server: &LandmarkServer<'_>, id: usize, rtt_ms: f64) -> Observation {
@@ -244,7 +453,7 @@ pub fn run_refined<P: RttProber, R: Rng + ?Sized>(
             .filter(|&id| !used[id])
             .map(|id| (landmarks[id].location.distance_km(&centroid), id))
             .collect();
-        candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
         if candidates.is_empty() {
             break;
         }
@@ -431,6 +640,232 @@ mod tests {
         assert!(refined
             .region
             .contains_point(&geokit::GeoPoint::new(48.85, 2.35)));
+    }
+
+    fn quick_policy() -> crate::reliability::RetryPolicy {
+        crate::reliability::RetryPolicy {
+            max_attempts: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn dark_phase1_is_unmeasurable_with_diagnostics() {
+        let mut f = fixture().lock().unwrap();
+        let Fixture {
+            world,
+            constellation,
+            calibration,
+        } = &mut *f;
+        let host = world.attach_host(geokit::GeoPoint::new(48.0, 9.0), FilterPolicy::default());
+        let atlas = Arc::clone(world.atlas());
+        let server = LandmarkServer::new(constellation, calibration, &atlas);
+        world.network_mut().faults_mut().set_drop_chance(1.0);
+        let prober = CliProber {
+            client: host,
+            attempts: 1,
+        };
+        let mut sched = ProbeScheduler::new(prober, quick_policy(), 7);
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = run_two_phase_reliable(
+            world.network_mut(),
+            &server,
+            &mut sched,
+            &mut rng,
+            &ReliabilityConfig::default(),
+        );
+        world.network_mut().faults_mut().clear();
+        assert_eq!(out.status, MeasurementStatus::Unmeasurable);
+        assert!(out.result.is_none());
+        assert!(!out.diagnostics.is_empty(), "no attempts recorded");
+        assert_eq!(out.diagnostics.phase1_responsive, 0);
+        assert!(out.diagnostics.phase1_total > 0);
+        assert!(out.diagnostics.dead_landmarks > 0);
+        assert!(out.diagnostics.retries > 0, "scheduler never retried");
+    }
+
+    #[test]
+    fn missed_phase1_quorum_degrades_to_all_continent_sweep() {
+        let mut f = fixture().lock().unwrap();
+        let Fixture {
+            world,
+            constellation,
+            calibration,
+        } = &mut *f;
+        let host = world.attach_host(
+            geokit::GeoPoint::new(48.2, 11.5), // Munich
+            FilterPolicy::default(),
+        );
+        let atlas = Arc::clone(world.atlas());
+        let server = LandmarkServer::new(constellation, calibration, &atlas);
+        // Keep exactly one phase-1 anchor (a European one) alive: one
+        // responsive anchor misses the default quorum of two.
+        let phase1 = server.phase1_landmarks();
+        let lms = server.constellation().landmarks();
+        let keep = phase1
+            .iter()
+            .copied()
+            .find(|&id| {
+                atlas.country(lms[id].country).continent() == Continent::Europe
+            })
+            .expect("a European anchor in phase 1");
+        let down: Vec<_> = phase1
+            .iter()
+            .copied()
+            .filter(|&id| id != keep)
+            .map(|id| lms[id].node)
+            .collect();
+        let t0 = world.network_mut().now();
+        for node in down {
+            world.network_mut().faults_mut().add_permanent_outage(node, t0);
+        }
+        let prober = CliProber {
+            client: host,
+            attempts: 2,
+        };
+        let mut sched = ProbeScheduler::new(prober, quick_policy(), 8);
+        let mut rng = StdRng::seed_from_u64(6);
+        let out = run_two_phase_reliable(
+            world.network_mut(),
+            &server,
+            &mut sched,
+            &mut rng,
+            &ReliabilityConfig::default(),
+        );
+        world.network_mut().faults_mut().clear();
+        assert!(out.diagnostics.quorum_degraded, "quorum miss not flagged");
+        assert_eq!(out.diagnostics.phase1_responsive, 1);
+        assert_eq!(out.status, MeasurementStatus::Ok);
+        let result = out.result.expect("sweep should still measure");
+        // The all-continent sweep still finds the right continent: the
+        // fastest responders are the European landmarks near the host.
+        assert_eq!(result.continent, Continent::Europe);
+        assert!(
+            result.observations.len() >= 15,
+            "only {} observations from the sweep",
+            result.observations.len()
+        );
+    }
+
+    #[test]
+    fn thin_phase2_is_flagged_insufficient_not_silently_ok() {
+        let mut f = fixture().lock().unwrap();
+        let Fixture {
+            world,
+            constellation,
+            calibration,
+        } = &mut *f;
+        let host = world.attach_host(
+            geokit::GeoPoint::new(50.1, 8.7), // Frankfurt
+            FilterPolicy::default(),
+        );
+        let atlas = Arc::clone(world.atlas());
+        let server = LandmarkServer::new(constellation, calibration, &atlas);
+        // Phase-1 anchors stay up everywhere, so the continent guess is
+        // sound — but every *other* European landmark is down, so phase 2
+        // contributes nothing beyond the phase-1 anchors.
+        let lms = server.constellation().landmarks();
+        let phase1 = server.phase1_landmarks();
+        let down: Vec<_> = server
+            .continent_landmarks(Continent::Europe)
+            .iter()
+            .copied()
+            .filter(|id| !phase1.contains(id))
+            .map(|id| lms[id].node)
+            .collect();
+        let t0 = world.network_mut().now();
+        for node in down {
+            world.network_mut().faults_mut().add_permanent_outage(node, t0);
+        }
+        let prober = CliProber {
+            client: host,
+            attempts: 2,
+        };
+        let mut sched = ProbeScheduler::new(prober, quick_policy(), 9);
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = ReliabilityConfig {
+            phase2_min_landmarks: 5,
+            ..Default::default()
+        };
+        let out =
+            run_two_phase_reliable(world.network_mut(), &server, &mut sched, &mut rng, &cfg);
+        world.network_mut().faults_mut().clear();
+        assert_eq!(out.status, MeasurementStatus::InsufficientData);
+        let result = out.result.expect("partial evidence is still reported");
+        assert!(
+            result.observations.len() < 5,
+            "{} observations should be thin",
+            result.observations.len()
+        );
+        assert_eq!(result.continent, Continent::Europe);
+        assert!(out.diagnostics.dead_landmarks > 0);
+    }
+
+    #[test]
+    fn reliable_run_without_faults_matches_legacy_byte_for_byte() {
+        // Two freshly built, identically seeded worlds: the legacy engine
+        // on one, the scheduler-wrapped reliable engine on the other.
+        // With no faults the scheduler never retries, so both must
+        // consume identical RNG streams and emit identical observations.
+        let build = || {
+            let atlas = Arc::new(WorldAtlas::new(GeoGrid::new(1.0)));
+            let mut world = WorldNet::build(Arc::clone(&atlas), WorldNetConfig::default());
+            let constellation =
+                Constellation::place(&mut world, &ConstellationConfig::small(33));
+            let calibration = CalibrationDb::collect(world.network_mut(), &constellation, 4);
+            let host = world.attach_host(
+                geokit::GeoPoint::new(48.2, 11.5),
+                FilterPolicy::default(),
+            );
+            (world, constellation, calibration, host)
+        };
+
+        let (mut wa, ca, da, host_a) = build();
+        let atlas_a = Arc::clone(wa.atlas());
+        let server_a = LandmarkServer::new(&ca, &da, &atlas_a);
+        let mut prober = CliProber {
+            client: host_a,
+            attempts: 2,
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let legacy =
+            run_two_phase(wa.network_mut(), &server_a, &mut prober, &mut rng).unwrap();
+
+        let (mut wb, cb, db, host_b) = build();
+        let atlas_b = Arc::clone(wb.atlas());
+        let server_b = LandmarkServer::new(&cb, &db, &atlas_b);
+        let mut sched = ProbeScheduler::new(
+            CliProber {
+                client: host_b,
+                attempts: 2,
+            },
+            crate::reliability::RetryPolicy::default(),
+            99,
+        );
+        let mut rng = StdRng::seed_from_u64(11);
+        let reliable = run_two_phase_reliable(
+            wb.network_mut(),
+            &server_b,
+            &mut sched,
+            &mut rng,
+            &ReliabilityConfig::default(),
+        );
+        assert_eq!(reliable.status, MeasurementStatus::Ok);
+        assert_eq!(reliable.diagnostics.retries, 0);
+        assert_eq!(reliable.diagnostics.fallbacks, 0);
+        let got = reliable.result.unwrap();
+        assert_eq!(got.continent, legacy.continent);
+        assert_eq!(got.observations.len(), legacy.observations.len());
+        for (a, b) in legacy.observations.iter().zip(got.observations.iter()) {
+            assert_eq!(a.landmark, b.landmark);
+            assert_eq!(
+                a.one_way_ms.to_bits(),
+                b.one_way_ms.to_bits(),
+                "observation diverged: {} vs {}",
+                a.one_way_ms,
+                b.one_way_ms
+            );
+        }
     }
 
     #[test]

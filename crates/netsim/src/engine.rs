@@ -322,7 +322,10 @@ impl<'a, R: Rng> Engine<'a, R> {
             }
         }
 
-        // Fault injection: random loss on forward.
+        // Fault injection: outage at the forwarding node, random loss.
+        if self.faults.is_down(here, at) {
+            return;
+        }
         if self.faults.drops_packet(here, self.rng) {
             return;
         }
@@ -340,6 +343,10 @@ impl<'a, R: Rng> Engine<'a, R> {
             .find(|&&(_, n)| n == next)
             .map(|&(l, _)| l)
             .expect("route follows links");
+        // Fault injection: independent loss on the traversed link.
+        if self.faults.drops_on_link(link, self.rng) {
+            return;
+        }
         let extra = self.faults.added_delay_ms(here, self.rng);
         let hop = SimDuration::from_ms(
             self.topo.link(link).propagation_ms
@@ -353,6 +360,20 @@ impl<'a, R: Rng> Engine<'a, R> {
 
     fn handle_delivery(&mut self, at: SimTime, packet: Packet) {
         let here = packet.dst;
+        // A node inside an outage window swallows everything addressed
+        // to it — no replies, no tunnel forwarding.
+        if self.faults.is_down(here, at) {
+            return;
+        }
+        // Reply rate-limiting (§4.2): a limited node silently drops
+        // request probes beyond its reply budget for the window.
+        if matches!(
+            packet.kind,
+            PacketKind::EchoRequest | PacketKind::TcpSyn { .. }
+        ) && self.faults.rate_limited(here, at)
+        {
+            return;
+        }
         let stack = SimDuration::from_ms(self.model.endpoint_ms);
         let mut at = at + stack;
         // Tunnelled packets handled by a proxy pay VPN forwarding

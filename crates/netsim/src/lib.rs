@@ -50,6 +50,7 @@ pub mod time;
 pub mod topology;
 
 pub use builder::{WorldNet, WorldNetConfig};
+pub use fault::{FaultPlan, OutageWindow, RateLimit};
 pub use network::Network;
 pub use policy::FilterPolicy;
 pub use time::{SimDuration, SimTime};

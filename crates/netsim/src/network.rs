@@ -18,6 +18,10 @@ use crate::NodeId;
 use simrng::rngs::StdRng;
 use simrng::SeedableRng;
 
+/// Default wait before a probe with no reply is charged to the clock:
+/// the client's timeout (ms).
+pub const DEFAULT_PROBE_TIMEOUT_MS: f64 = 2_000.0;
+
 /// A simulated network ready to be measured.
 pub struct Network {
     topo: Topology,
@@ -25,6 +29,13 @@ pub struct Network {
     model: DelayModel,
     faults: FaultPlan,
     rng: StdRng,
+    /// The persistent simulation clock: probes are injected at `now`,
+    /// and `now` advances by each probe's wall time (or the probe
+    /// timeout when nothing comes back). Outage windows and reply
+    /// rate-limits are defined against this clock.
+    now: SimTime,
+    /// How long an unanswered probe occupies the clock.
+    probe_timeout: SimDuration,
 }
 
 impl Network {
@@ -41,7 +52,25 @@ impl Network {
             model,
             faults: FaultPlan::default(),
             rng: StdRng::seed_from_u64(seed),
+            now: SimTime::ZERO,
+            probe_timeout: SimDuration::from_ms(DEFAULT_PROBE_TIMEOUT_MS),
         }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advance the simulation clock (e.g. a retry backoff sleeping
+    /// between measurement attempts).
+    pub fn advance(&mut self, d: SimDuration) {
+        self.now = self.now + d;
+    }
+
+    /// Set how long an unanswered probe occupies the clock.
+    pub fn set_probe_timeout(&mut self, d: SimDuration) {
+        self.probe_timeout = d;
     }
 
     /// The topology (read-only).
@@ -60,9 +89,23 @@ impl Network {
         &self.model
     }
 
-    /// Mutable fault plan (drops, added delay, adversarial proxies).
+    /// The fault plan in force (read-only).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Mutable fault plan (drops, outages, rate limits, corruption,
+    /// adversarial proxies).
     pub fn faults_mut(&mut self) -> &mut FaultPlan {
         &mut self.faults
+    }
+
+    /// Apply the fault plan's measurement-corruption model to a
+    /// completed RTT reading (ms). Identity — and RNG-neutral — when the
+    /// corrupt chance is zero. The corrupted reading may be NaN;
+    /// consumers must tolerate non-finite values.
+    pub fn corrupt_rtt_ms(&mut self, ms: f64) -> f64 {
+        self.faults.corrupt_rtt_ms(ms, &mut self.rng)
     }
 
     // --- DES-based, protocol-faithful operations ------------------------
@@ -74,14 +117,19 @@ impl Network {
         kind: PacketKind,
         ttl: Option<u32>,
     ) -> Option<(SimDuration, PacketKind)> {
+        let start = self.now;
         let mut engine = Engine::new(&self.topo, &self.router, &self.model, &self.faults, &mut self.rng);
-        let probe = engine.inject(SimTime::ZERO, src, dst, kind, ttl)?;
+        let probe = engine.inject(start, src, dst, kind, ttl)?;
         let outcomes = engine.run();
         match outcomes.into_iter().find(|(p, _)| *p == probe) {
             Some((_, ProbeOutcome::Completed { at, reply })) => {
-                Some((at.since(SimTime::ZERO), reply))
+                self.now = at;
+                Some((at.since(start), reply))
             }
-            _ => None,
+            _ => {
+                self.now = start + self.probe_timeout;
+                None
+            }
         }
     }
 
@@ -190,6 +238,7 @@ impl Network {
         target: NodeId,
         port: u16,
     ) -> (Vec<TraceEvent>, Option<SimDuration>) {
+        let start = self.now;
         let mut engine = Engine::new(
             &self.topo,
             &self.router,
@@ -198,7 +247,7 @@ impl Network {
             &mut self.rng,
         );
         engine.enable_trace();
-        let Some(probe) = engine.inject(SimTime::ZERO, client, target, PacketKind::TcpSyn { port }, None)
+        let Some(probe) = engine.inject(start, client, target, PacketKind::TcpSyn { port }, None)
         else {
             return (Vec::new(), None);
         };
@@ -206,10 +255,14 @@ impl Network {
         let trace = engine.take_trace();
         let rtt = outcomes.into_iter().find(|(p, _)| *p == probe).and_then(
             |(_, o)| match o {
-                ProbeOutcome::Completed { at, .. } => Some(at.since(SimTime::ZERO)),
+                ProbeOutcome::Completed { at, .. } => Some(at.since(start)),
                 ProbeOutcome::TimedOut => None,
             },
         );
+        self.now = match rtt {
+            Some(d) => start + d,
+            None => start + self.probe_timeout,
+        };
         (trace, rtt)
     }
 
@@ -428,6 +481,89 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    #[test]
+    fn clock_advances_with_probes() {
+        let (mut net, client, _, lm) = net();
+        assert_eq!(net.now(), SimTime::ZERO);
+        let rtt = net.tcp_connect_rtt(client, lm, 80).unwrap();
+        assert_eq!(net.now(), SimTime::ZERO + rtt);
+        // An unanswered probe costs the probe timeout.
+        net.topology_mut().node_mut(lm).policy.filtered_tcp_ports = vec![80];
+        let before = net.now();
+        assert!(net.tcp_connect_rtt(client, lm, 80).is_none());
+        assert_eq!(
+            net.now().since(before).as_ms(),
+            DEFAULT_PROBE_TIMEOUT_MS
+        );
+        // Manual advance (a retry backoff).
+        let before = net.now();
+        net.advance(SimDuration::from_ms(123.0));
+        assert_eq!(net.now().since(before).as_ms(), 123.0);
+    }
+
+    #[test]
+    fn outage_window_darkens_then_recovers() {
+        let (mut net, client, _, lm) = net();
+        // Landmark down for the first simulated second.
+        net.faults_mut().add_outage(
+            lm,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_ms(1_000.0),
+        );
+        assert!(net.tcp_connect_rtt(client, lm, 80).is_none());
+        // The failed probe advanced the clock past the outage window.
+        assert!(net.now() >= SimTime::ZERO + SimDuration::from_ms(1_000.0));
+        assert!(net.tcp_connect_rtt(client, lm, 80).is_some());
+    }
+
+    #[test]
+    fn permanent_outage_never_recovers() {
+        let (mut net, client, _, lm) = net();
+        net.faults_mut().add_permanent_outage(lm, SimTime::ZERO);
+        for _ in 0..5 {
+            assert!(net.tcp_connect_rtt(client, lm, 80).is_none());
+        }
+    }
+
+    #[test]
+    fn rate_limited_landmark_answers_only_its_budget() {
+        let (mut net, client, _, lm) = net();
+        // Two replies per 10-second window; everything in this test fits
+        // inside one window (successful probes advance the clock by only
+        // a few ms each; the two timeouts add 2 s each).
+        net.faults_mut()
+            .set_rate_limit(lm, 2, SimDuration::from_ms(10_000.0));
+        assert!(net.tcp_connect_rtt(client, lm, 80).is_some());
+        assert!(net.tcp_connect_rtt(client, lm, 80).is_some());
+        assert!(net.tcp_connect_rtt(client, lm, 80).is_none());
+        assert!(net.tcp_connect_rtt(client, lm, 80).is_none());
+        // After the window slides past the first replies, service resumes.
+        net.advance(SimDuration::from_ms(10_000.0));
+        assert!(net.tcp_connect_rtt(client, lm, 80).is_some());
+    }
+
+    #[test]
+    fn total_link_loss_times_out() {
+        let (mut net, client, _, lm) = net();
+        // Link 0 is fra—par: the only path from client to landmark.
+        net.faults_mut().set_link_loss(0, 1.0);
+        assert!(net.tcp_connect_rtt(client, lm, 80).is_none());
+        net.faults_mut().set_link_loss(0, 0.0);
+        assert!(net.tcp_connect_rtt(client, lm, 80).is_some());
+    }
+
+    #[test]
+    fn corruption_flows_through_the_rtt_surface() {
+        let (mut net, client, _, lm) = net();
+        net.faults_mut().set_corrupt_chance(1.0);
+        let d = net.tcp_connect_rtt(client, lm, 80).unwrap();
+        let corrupted = net.corrupt_rtt_ms(d.as_ms());
+        // Always corrupted at chance 1.0: never the clean reading.
+        assert!(corrupted.to_bits() != d.as_ms().to_bits());
+        net.faults_mut().set_corrupt_chance(0.0);
+        assert_eq!(net.corrupt_rtt_ms(7.5), 7.5);
     }
 
     #[test]

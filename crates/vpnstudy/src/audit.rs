@@ -11,9 +11,10 @@ use geoloc::assess::{assess_claim, Assessment, ClaimVerdict, ContinentVerdict};
 use geoloc::disambiguate::{by_data_centers, by_touched_sets, Disambiguation};
 use geoloc::iclab::{IclabChecker, IclabVerdict};
 use geoloc::proxy::{estimate_eta, EtaEstimate, ProxyContext, DEFAULT_ETA};
-use geoloc::twophase::{run_two_phase, ProxyProber};
+use geoloc::reliability::{MeasurementDiagnostics, ProbeScheduler};
+use geoloc::twophase::{run_two_phase_reliable, MeasurementStatus, ProxyProber};
 use geoloc::Geolocator;
-use netsim::{FilterPolicy, NodeId, WorldNet, WorldNetConfig};
+use netsim::{FilterPolicy, NodeId, SimDuration, WorldNet, WorldNetConfig};
 use simrng::rngs::StdRng;
 use simrng::SeedableRng;
 use std::sync::Arc;
@@ -44,6 +45,33 @@ pub struct ProxyRecord {
     pub self_ping_ms: f64,
     /// ICLab checker verdict for the claim.
     pub iclab: IclabVerdict,
+    /// What the measurement cost: attempts, retries, timeouts, dead
+    /// landmarks, quorum degradation.
+    pub diagnostics: MeasurementDiagnostics,
+}
+
+/// Why a proxy produced no [`ProxyRecord`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeasureFailure {
+    /// Nothing answered: no tunnel, or no landmark at all.
+    Unmeasurable,
+    /// Some landmarks answered, but fewer than the configured minimum —
+    /// too thin to back a verdict.
+    InsufficientData,
+}
+
+/// A proxy the audit could not credibly measure, with the evidence of
+/// how hard it tried. The paper's pipeline must never *silently* shrink
+/// its denominator: every input proxy ends up either in `records` or
+/// here.
+#[derive(Debug)]
+pub struct UnmeasuredProxy {
+    /// The proxy in question.
+    pub proxy: DeployedProxy,
+    /// Which way the measurement fell short.
+    pub failure: MeasureFailure,
+    /// What was attempted before giving up.
+    pub diagnostics: MeasurementDiagnostics,
 }
 
 /// The built study, ready to run.
@@ -74,7 +102,12 @@ pub struct StudyResults {
     pub records: Vec<ProxyRecord>,
     /// The η estimate used for tunnel-leg correction.
     pub eta: Option<EtaEstimate>,
-    /// Proxies that could not be measured at all.
+    /// Proxies that could not be measured, with explicit verdicts and
+    /// diagnostics (`records.len() + failures.len()` equals the number
+    /// of proxies deployed).
+    pub failures: Vec<UnmeasuredProxy>,
+    /// Count of unmeasured proxies (`failures.len()`, kept as a plain
+    /// number for quick summaries).
     pub unmeasured: usize,
 }
 
@@ -134,32 +167,89 @@ impl Study {
 
         let checker = IclabChecker::default();
         let locator = CbgPlusPlus;
+        let reliability = self.config.reliability;
         let mut records: Vec<ProxyRecord> = Vec::with_capacity(self.providers.proxies.len());
-        let mut unmeasured = 0usize;
+        let mut failures: Vec<UnmeasuredProxy> = Vec::new();
 
         for proxy in self.providers.proxies.clone() {
             let server = LandmarkServer::new(&self.constellation, &self.calibration, &atlas);
-            let Some(ctx) = ProxyContext::establish(
-                self.world.network_mut(),
-                self.client,
-                proxy.node,
-                eta,
-                self.config.self_ping_attempts,
-            ) else {
-                unmeasured += 1;
+            // Establish the tunnel context with the same retry budget as
+            // a probe: a flap during session setup should not write the
+            // proxy off. The backoff here is deterministic (no jitter) —
+            // it only advances the sim clock.
+            let mut establish_attempts = 0usize;
+            let mut ctx = None;
+            for attempt in 0..reliability.retry.max_attempts.max(1) {
+                if attempt > 0 {
+                    let wait = (reliability.retry.base_backoff_ms
+                        * reliability.retry.backoff_factor.powi(attempt as i32 - 1))
+                    .min(reliability.retry.max_backoff_ms);
+                    self.world.network_mut().advance(SimDuration::from_ms(wait));
+                }
+                establish_attempts += 1;
+                ctx = ProxyContext::establish(
+                    self.world.network_mut(),
+                    self.client,
+                    proxy.node,
+                    eta,
+                    self.config.self_ping_attempts,
+                );
+                if ctx.is_some() {
+                    break;
+                }
+            }
+            let Some(ctx) = ctx else {
+                failures.push(UnmeasuredProxy {
+                    proxy,
+                    failure: MeasureFailure::Unmeasurable,
+                    diagnostics: MeasurementDiagnostics {
+                        attempts: establish_attempts,
+                        retries: establish_attempts - 1,
+                        timeouts: establish_attempts,
+                        ..Default::default()
+                    },
+                });
                 continue;
             };
-            let mut prober = ProxyProber {
+            let prober = ProxyProber {
                 ctx,
                 attempts: self.config.attempts_per_landmark,
             };
-            let Some(two_phase) =
-                run_two_phase(self.world.network_mut(), &server, &mut prober, &mut rng)
-            else {
-                unmeasured += 1;
-                continue;
-            };
+            let mut scheduler = ProbeScheduler::new(
+                prober,
+                reliability.retry,
+                self.config.seed ^ 0xba0ff ^ u64::from(proxy.node),
+            );
+            let outcome = run_two_phase_reliable(
+                self.world.network_mut(),
+                &server,
+                &mut scheduler,
+                &mut rng,
+                &reliability,
+            );
             drop(server);
+            let mut diagnostics = outcome.diagnostics;
+            diagnostics.attempts += establish_attempts;
+            diagnostics.retries += establish_attempts - 1;
+            let two_phase = match (outcome.status, outcome.result) {
+                (MeasurementStatus::Ok, Some(r)) => r,
+                (MeasurementStatus::InsufficientData, _) => {
+                    failures.push(UnmeasuredProxy {
+                        proxy,
+                        failure: MeasureFailure::InsufficientData,
+                        diagnostics,
+                    });
+                    continue;
+                }
+                _ => {
+                    failures.push(UnmeasuredProxy {
+                        proxy,
+                        failure: MeasureFailure::Unmeasurable,
+                        diagnostics,
+                    });
+                    continue;
+                }
+            };
 
             let prediction = locator.locate(&two_phase.observations, &self.mask);
             let verdict = assess_claim(&atlas, &prediction.region, proxy.claimed);
@@ -190,11 +280,12 @@ impl Study {
                     .iter()
                     .map(|o| (o.landmark, o.one_way_ms))
                     .collect(),
-                self_ping_ms: prober.ctx.self_ping_ms,
+                self_ping_ms: scheduler.inner.ctx.self_ping_ms,
                 iclab,
                 verdict,
                 refined,
                 dc_country,
+                diagnostics,
                 proxy,
             });
         }
@@ -203,12 +294,30 @@ impl Study {
         // true country must be common to every member's touched set.
         apply_group_disambiguation(&mut records);
 
+        let unmeasured = failures.len();
         StudyResults {
             records,
             eta: eta_est,
+            failures,
             unmeasured,
         }
     }
+}
+
+/// One study's reliability ledger: how many proxies got a verdict, how
+/// many were refused one (and why), and the summed measurement effort.
+#[derive(Debug, Clone, Copy)]
+pub struct ReliabilitySummary {
+    /// Proxies with a full measurement and verdict.
+    pub measured: usize,
+    /// Proxies refused a verdict for thin data.
+    pub insufficient: usize,
+    /// Proxies that never answered anything.
+    pub unmeasurable: usize,
+    /// Runs that missed the phase-1 quorum and degraded to a sweep.
+    pub quorum_degraded: usize,
+    /// Summed diagnostics across every proxy (measured or not).
+    pub totals: MeasurementDiagnostics,
 }
 
 /// Resolve groups (same provider + AS + /24) whose members' regions share
@@ -323,6 +432,38 @@ impl StudyResults {
         }
     }
 
+    /// Aggregate the per-proxy measurement diagnostics into one
+    /// study-level reliability picture.
+    pub fn reliability_summary(&self) -> ReliabilitySummary {
+        let mut totals = MeasurementDiagnostics::default();
+        let mut quorum_degraded = 0usize;
+        for r in &self.records {
+            totals.absorb(&r.diagnostics);
+            if r.diagnostics.quorum_degraded {
+                quorum_degraded += 1;
+            }
+        }
+        let mut insufficient = 0usize;
+        let mut unmeasurable = 0usize;
+        for f in &self.failures {
+            totals.absorb(&f.diagnostics);
+            if f.diagnostics.quorum_degraded {
+                quorum_degraded += 1;
+            }
+            match f.failure {
+                MeasureFailure::InsufficientData => insufficient += 1,
+                MeasureFailure::Unmeasurable => unmeasurable += 1,
+            }
+        }
+        ReliabilitySummary {
+            measured: self.records.len(),
+            insufficient,
+            unmeasurable,
+            quorum_degraded,
+            totals,
+        }
+    }
+
     /// Evaluation-only ground-truth check: fraction of records whose
     /// prediction covered the proxy's true country.
     pub fn coverage_of_truth(&self) -> f64 {
@@ -370,6 +511,30 @@ mod tests {
             res.records.len(),
             study.providers.proxies.len()
         );
+    }
+
+    #[test]
+    fn reliability_summary_accounts_for_every_proxy() {
+        let g = results().lock().unwrap();
+        let (study, res) = &*g;
+        let s = res.reliability_summary();
+        assert_eq!(
+            s.measured + s.insufficient + s.unmeasurable,
+            study.providers.proxies.len(),
+            "a proxy fell out of the ledger"
+        );
+        assert_eq!(res.failures.len(), res.unmeasured);
+        assert!(s.totals.attempts > 0);
+        assert!(s.totals.landmarks_measured > 0);
+        for r in &res.records {
+            assert!(!r.diagnostics.is_empty(), "record without diagnostics");
+        }
+        for f in &res.failures {
+            assert!(!f.diagnostics.is_empty(), "failure without diagnostics");
+        }
+        let rendered = crate::report::render_reliability(res);
+        assert!(rendered.contains("measured"));
+        assert!(rendered.contains("phase 1"));
     }
 
     #[test]

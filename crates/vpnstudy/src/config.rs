@@ -2,6 +2,7 @@
 
 use atlas::ConstellationConfig;
 use geokit::GeoPoint;
+use geoloc::ReliabilityConfig;
 
 /// All parameters of a study run.
 #[derive(Debug, Clone)]
@@ -28,6 +29,9 @@ pub struct StudyConfig {
     pub crowd_volunteers: usize,
     /// Number of paid crowdsourced hosts.
     pub crowd_workers: usize,
+    /// Measurement reliability policy: retries, backoff, method
+    /// fallback, and quorum thresholds for degraded runs.
+    pub reliability: ReliabilityConfig,
 }
 
 impl StudyConfig {
@@ -44,6 +48,7 @@ impl StudyConfig {
             client_location: GeoPoint::new(50.11, 8.68),
             crowd_volunteers: 40,
             crowd_workers: 150,
+            reliability: ReliabilityConfig::default(),
         }
     }
 
@@ -61,6 +66,7 @@ impl StudyConfig {
             client_location: GeoPoint::new(50.11, 8.68),
             crowd_volunteers: 6,
             crowd_workers: 14,
+            reliability: ReliabilityConfig::default(),
         }
     }
 }

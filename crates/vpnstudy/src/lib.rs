@@ -26,6 +26,8 @@ pub mod providers;
 pub mod report;
 pub mod testbench;
 
-pub use audit::{ProxyRecord, Study, StudyResults};
+pub use audit::{
+    MeasureFailure, ProxyRecord, ReliabilitySummary, Study, StudyResults, UnmeasuredProxy,
+};
 pub use config::StudyConfig;
 pub use providers::{DeployedProxy, ProviderProfile, ProviderSet};

@@ -47,6 +47,36 @@ pub fn render_overall(study: &Study, results: &StudyResults) -> String {
     out
 }
 
+/// The per-study reliability block: measurement effort, failures with
+/// their reasons, and degradation counts. This is the ledger proving the
+/// audit never silently dropped a proxy.
+pub fn render_reliability(results: &StudyResults) -> String {
+    let s = results.reliability_summary();
+    let mut out = String::new();
+    let total = s.measured + s.insufficient + s.unmeasurable;
+    let _ = writeln!(
+        out,
+        "proxies: {total} total = {} measured + {} insufficient-data + {} unmeasurable",
+        s.measured, s.insufficient, s.unmeasurable
+    );
+    let _ = writeln!(
+        out,
+        "probes: {} attempts ({} retries, {} timeouts, {} corrupt readings discarded)",
+        s.totals.attempts, s.totals.retries, s.totals.timeouts, s.totals.corrupt_readings
+    );
+    let _ = writeln!(
+        out,
+        "landmarks: {} measured, {} dead, {} recovered via method fallback",
+        s.totals.landmarks_measured, s.totals.dead_landmarks, s.totals.fallbacks
+    );
+    let _ = writeln!(
+        out,
+        "phase 1: {}/{} anchors responsive; {} runs quorum-degraded to all-continent sweep",
+        s.totals.phase1_responsive, s.totals.phase1_total, s.quorum_degraded
+    );
+    out
+}
+
 /// The Fig. 21 comparison table: per provider, agreement of CBG++
 /// (generous/strict), ICLab, and the five IP databases with the
 /// provider's claims.

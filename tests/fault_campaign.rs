@@ -1,0 +1,161 @@
+//! Fault campaign: the audit pipeline under probe loss and landmark
+//! outages must degrade *loudly* — every proxy accounted for, every
+//! verdict backed by diagnostics — and deterministically.
+//!
+//! Fault intensities are the campaign's stated operating envelope:
+//! ~2.5 % per-hop loss (≈ 20 % end-to-end probe loss over the typical
+//! simulated path) and 10 % of landmarks in permanent outage.
+
+use proxy_verifier::netsim::NodeId;
+use proxy_verifier::vpnstudy::{MeasureFailure, Study, StudyConfig, StudyResults};
+use proxy_verifier::Assessment;
+
+const SEED: u64 = 4242;
+const PER_HOP_LOSS: f64 = 0.025;
+const OUTAGE_FRACTION: f64 = 0.10;
+
+fn campaign_config() -> StudyConfig {
+    let mut config = StudyConfig::small(SEED);
+    config.total_proxies = 40;
+    config
+}
+
+/// Build a study and knock out `fraction` of its landmarks (every k-th,
+/// deterministically) plus a global per-hop loss rate, then run it.
+fn run_with_faults(per_hop_loss: f64, outage_fraction: f64) -> (usize, StudyResults) {
+    let mut study = Study::build(campaign_config());
+    let total = study.providers.proxies.len();
+    if outage_fraction > 0.0 {
+        let nodes: Vec<NodeId> = study
+            .constellation
+            .landmarks()
+            .iter()
+            .map(|l| l.node)
+            .collect();
+        let stride = (1.0 / outage_fraction).round() as usize;
+        let t0 = study.world.network_mut().now();
+        for node in nodes.into_iter().step_by(stride.max(1)) {
+            study
+                .world
+                .network_mut()
+                .faults_mut()
+                .add_permanent_outage(node, t0);
+        }
+    }
+    study
+        .world
+        .network_mut()
+        .faults_mut()
+        .set_drop_chance(per_hop_loss);
+    (total, study.run())
+}
+
+fn verdict_counts(results: &StudyResults) -> (usize, usize, usize) {
+    results.counts(true)
+}
+
+#[test]
+fn faulted_campaign_accounts_for_every_proxy_with_diagnostics() {
+    let (total, faulted) = run_with_faults(PER_HOP_LOSS, OUTAGE_FRACTION);
+    assert_eq!(
+        faulted.records.len() + faulted.failures.len(),
+        total,
+        "a proxy was silently dropped"
+    );
+    assert_eq!(faulted.failures.len(), faulted.unmeasured);
+    for r in &faulted.records {
+        assert!(!r.diagnostics.is_empty(), "verdict without diagnostics");
+    }
+    for f in &faulted.failures {
+        assert!(!f.diagnostics.is_empty(), "failure without diagnostics");
+        assert!(matches!(
+            f.failure,
+            MeasureFailure::Unmeasurable | MeasureFailure::InsufficientData
+        ));
+    }
+    // The faults actually bit: the reliability layer visibly worked.
+    let summary = faulted.reliability_summary();
+    assert!(summary.totals.retries > 0, "no retries under 20 % loss");
+    assert!(
+        summary.totals.dead_landmarks > 0,
+        "no dead landmarks despite outages"
+    );
+}
+
+#[test]
+fn verdicts_stay_within_tolerance_of_the_fault_free_baseline() {
+    let (total, baseline) = run_with_faults(0.0, 0.0);
+    let (_, faulted) = run_with_faults(PER_HOP_LOSS, OUTAGE_FRACTION);
+
+    // Retries + fallback keep the measured population close to baseline.
+    assert!(
+        faulted.records.len() * 10 >= baseline.records.len() * 8,
+        "measured population collapsed: {} vs baseline {}",
+        faulted.records.len(),
+        baseline.records.len()
+    );
+
+    // Stated tolerance: each verdict class moves by at most
+    // max(5, 25 % of the fleet) relative to the fault-free run.
+    let (cb, ub, fb) = verdict_counts(&baseline);
+    let (cf, uf, ff) = verdict_counts(&faulted);
+    let tolerance = (total / 4).max(5);
+    for (label, b, f) in [
+        ("credible", cb, cf),
+        ("uncertain", ub, uf),
+        ("false", fb, ff),
+    ] {
+        assert!(
+            b.abs_diff(f) <= tolerance,
+            "{label} verdicts drifted: {b} → {f} (tolerance {tolerance})"
+        );
+    }
+}
+
+#[test]
+fn faulted_campaign_is_deterministic() {
+    let digest = |results: &StudyResults| {
+        let mut d: Vec<(u32, u8, usize, usize)> = results
+            .records
+            .iter()
+            .map(|r| {
+                let a = match r.refined.assessment {
+                    Assessment::Credible => 0u8,
+                    Assessment::Uncertain => 1,
+                    Assessment::False => 2,
+                };
+                (r.proxy.node, a, r.diagnostics.attempts, r.diagnostics.retries)
+            })
+            .collect();
+        d.extend(results.failures.iter().map(|f| {
+            let a = match f.failure {
+                MeasureFailure::Unmeasurable => 10u8,
+                MeasureFailure::InsufficientData => 11,
+            };
+            (f.proxy.node, a, f.diagnostics.attempts, f.diagnostics.retries)
+        }));
+        d
+    };
+    let (_, a) = run_with_faults(PER_HOP_LOSS, OUTAGE_FRACTION);
+    let (_, b) = run_with_faults(PER_HOP_LOSS, OUTAGE_FRACTION);
+    assert_eq!(digest(&a), digest(&b), "faulted campaign not reproducible");
+}
+
+#[test]
+fn total_blackout_degrades_loudly_not_silently() {
+    let mut config = campaign_config();
+    config.total_proxies = 12;
+    let mut study = Study::build(config);
+    let total = study.providers.proxies.len();
+    study.world.network_mut().faults_mut().set_drop_chance(1.0);
+    let results = study.run();
+    assert!(results.records.is_empty(), "verdicts issued in a blackout");
+    assert_eq!(results.failures.len(), total);
+    for f in &results.failures {
+        assert_eq!(f.failure, MeasureFailure::Unmeasurable);
+        assert!(!f.diagnostics.is_empty());
+    }
+    let summary = results.reliability_summary();
+    assert_eq!(summary.unmeasurable, total);
+    assert_eq!(summary.measured, 0);
+}
