@@ -1,0 +1,175 @@
+//! Audit scaling: wall-clock of the full per-proxy fan-out
+//! (`Study::run_with_threads`) at 1/2/4/8 workers, plus the byte-identity
+//! check that makes the parallel path trustworthy at all.
+//!
+//! Unlike the Criterion-style benches, one measurement here is one full
+//! audit, so this harness runs each configuration a fixed small number
+//! of times and reports the best run (build cost excluded). Besides the
+//! human-readable `bench_parallel.txt` it emits a machine-readable
+//! `BENCH_scale.json` so future PRs can track the throughput curve.
+//!
+//! Scale defaults to the paper's (2269 proxies); set `PV_BENCH_SCALE` to
+//! `small` / `medium` / `paper` to override, and `PV_BENCH_RUNS` for the
+//! per-configuration repeat count (default 2).
+
+use bench::Scale;
+use std::fmt::Write as _;
+use std::time::Instant;
+use vpnstudy::audit::{Study, StudyResults};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// A cheap but complete digest of the deterministic study output: if two
+/// runs agree on this, they agreed on every record field that reaches a
+/// report. (Cache hit/miss telemetry is deliberately excluded — it is
+/// scheduling-dependent.)
+fn fingerprint(results: &StudyResults) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(results.records.len() as u64);
+    mix(results.failures.len() as u64);
+    for r in &results.records {
+        mix(u64::from(r.proxy.node));
+        mix(r.proxy.claimed as u64);
+        mix(r.verdict.assessment as u64);
+        mix(r.refined.assessment as u64);
+        mix(r.region_area_km2.to_bits());
+        mix(r.self_ping_ms.to_bits());
+        mix(r.observations.len() as u64);
+        for (lm, ms) in &r.observations {
+            mix(lm.lat().to_bits());
+            mix(lm.lon().to_bits());
+            mix(ms.to_bits());
+        }
+    }
+    for f in &results.failures {
+        mix(u64::from(f.proxy.node));
+        mix(f.diagnostics.attempts as u64);
+    }
+    h
+}
+
+struct Measurement {
+    threads: usize,
+    best_secs: f64,
+    proxies: usize,
+    fingerprint: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+fn measure(scale: Scale, threads: usize, runs: usize) -> Measurement {
+    let mut best_secs = f64::INFINITY;
+    let mut fp = 0u64;
+    let (mut proxies, mut hits, mut misses) = (0usize, 0u64, 0u64);
+    for _ in 0..runs.max(1) {
+        // Rebuild per run: `run` advances the world clock, so timing a
+        // rerun on a mutated world would not compare like with like.
+        let mut study = Study::build(scale.study_config());
+        proxies = study.providers.proxies.len();
+        let t0 = Instant::now();
+        let results = study.run_with_threads(threads);
+        let secs = t0.elapsed().as_secs_f64();
+        best_secs = best_secs.min(secs);
+        fp = fingerprint(&results);
+        hits = results.cache.hits;
+        misses = results.cache.misses;
+    }
+    Measurement {
+        threads,
+        best_secs,
+        proxies,
+        fingerprint: fp,
+        cache_hits: hits,
+        cache_misses: misses,
+    }
+}
+
+fn main() {
+    let scale = match std::env::var("PV_BENCH_SCALE").as_deref() {
+        Ok("small") => Scale::Small,
+        Ok("medium") => Scale::Medium,
+        _ => Scale::Paper,
+    };
+    let runs: usize = std::env::var("PV_BENCH_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let scale_name = match scale {
+        Scale::Small => "small",
+        Scale::Medium => "medium",
+        Scale::Paper => "paper",
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("audit scaling at scale={scale_name} ({runs} runs each, {cores} cores available)");
+
+    let measurements: Vec<Measurement> = THREAD_COUNTS
+        .iter()
+        .map(|&t| {
+            println!("  measuring {t} thread(s)...");
+            measure(scale, t, runs)
+        })
+        .collect();
+
+    let base = measurements[0].best_secs;
+    let mut report = String::new();
+    for m in &measurements {
+        let _ = writeln!(
+            report,
+            "audit scaling/{scale_name} {} threads{:<16} best {:>9.3} s  {:>8.1} proxies/s  speedup x{:.2}",
+            m.threads,
+            "",
+            m.best_secs,
+            m.proxies as f64 / m.best_secs,
+            base / m.best_secs,
+        );
+    }
+    print!("{report}");
+
+    // Byte-identity across thread counts is part of the contract; a bench
+    // that silently measured diverging runs would be lying about what it
+    // parallelized.
+    let fp0 = measurements[0].fingerprint;
+    assert!(
+        measurements.iter().all(|m| m.fingerprint == fp0),
+        "study output diverged across thread counts"
+    );
+
+    let dir = std::env::var("BENCH_OUTPUT_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../bench_output").into());
+    std::fs::create_dir_all(&dir).expect("bench output dir");
+    let txt = std::path::Path::new(&dir).join("bench_parallel.txt");
+    std::fs::write(&txt, &report).expect("write bench_parallel.txt");
+
+    // Machine-readable trajectory record. Hand-rolled JSON: the workspace
+    // has no serde, and the schema is four numbers per row.
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"scale\": \"{scale_name}\",");
+    let _ = writeln!(json, "  \"proxies\": {},", measurements[0].proxies);
+    let _ = writeln!(json, "  \"cores_available\": {cores},");
+    let _ = writeln!(json, "  \"runs_per_config\": {runs},");
+    let _ = writeln!(json, "  \"identical_output\": true,");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 < measurements.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {}, \"seconds\": {:.6}, \"proxies_per_sec\": {:.3}, \"speedup_vs_1\": {:.4}, \"cache_hits\": {}, \"cache_misses\": {}}}{comma}",
+            m.threads,
+            m.best_secs,
+            m.proxies as f64 / m.best_secs,
+            base / m.best_secs,
+            m.cache_hits,
+            m.cache_misses,
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    let json_path = std::path::Path::new(&dir).join("BENCH_scale.json");
+    std::fs::write(&json_path, &json).expect("write BENCH_scale.json");
+    println!("report written to {} and {}", txt.display(), json_path.display());
+}

@@ -1,0 +1,24 @@
+//! Render the audit's deterministic report blocks for the CI
+//! determinism gate.
+//!
+//! `ci.sh` runs this twice — under `PV_THREADS=1` and `PV_THREADS=4` —
+//! and fails on any byte difference, proving the parallel audit engine
+//! changes nothing the study reports. Everything printed here must
+//! therefore be a pure function of the study seed: the perf telemetry
+//! block (`render_perf_telemetry`) is deliberately absent, because disk
+//! cache hit/miss counts depend on worker scheduling.
+
+use vpnstudy::audit::Study;
+use vpnstudy::report;
+use vpnstudy::StudyConfig;
+
+fn main() {
+    let mut study = Study::build(StudyConfig::small(0xd1ff));
+    // `Study::run` reads PV_THREADS via `parallel::configured_threads`.
+    let results = study.run();
+    print!("{}", report::render_overall(&study, &results));
+    println!("---");
+    print!("{}", report::render_reliability(&results));
+    println!("---");
+    print!("{}", report::render_fig21(&study, &results));
+}

@@ -3,7 +3,9 @@
 
 use crate::algorithms::{Geolocator, Prediction};
 use crate::delay_model::CbgModel;
-use crate::multilateration::{intersect_constraints, RingConstraint};
+use crate::multilateration::{
+    intersect_constraints, intersect_constraints_cached, DiskCache, RingConstraint,
+};
 use crate::observation::Observation;
 use geokit::Region;
 
@@ -11,23 +13,45 @@ use geokit::Region;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Cbg;
 
-impl Geolocator for Cbg {
-    fn name(&self) -> &'static str {
-        "CBG"
-    }
-
-    fn locate(&self, observations: &[Observation], mask: &Region) -> Prediction {
+impl Cbg {
+    fn constraints(observations: &[Observation], mask: &Region) -> Vec<RingConstraint> {
         let slack = crate::multilateration::constraint::grid_slack_km(mask.grid());
-        let constraints: Vec<RingConstraint> = observations
+        observations
             .iter()
             .map(|obs| {
                 let model = CbgModel::calibrate(&obs.calibration);
                 RingConstraint::disk(obs.landmark, model.max_distance_km(obs.one_way_ms))
                     .inflated(slack)
             })
-            .collect();
+            .collect()
+    }
+
+    /// [`Geolocator::locate`] with bestline disks drawn from a shared
+    /// [`DiskCache`] (radii quantized up by at most one grid cell).
+    pub fn locate_cached(
+        &self,
+        observations: &[Observation],
+        mask: &Region,
+        cache: &DiskCache,
+    ) -> Prediction {
         Prediction {
-            region: intersect_constraints(&constraints, mask),
+            region: intersect_constraints_cached(
+                &Self::constraints(observations, mask),
+                mask,
+                cache,
+            ),
+        }
+    }
+}
+
+impl Geolocator for Cbg {
+    fn name(&self) -> &'static str {
+        "CBG"
+    }
+
+    fn locate(&self, observations: &[Observation], mask: &Region) -> Prediction {
+        Prediction {
+            region: intersect_constraints(&Self::constraints(observations, mask), mask),
         }
     }
 }

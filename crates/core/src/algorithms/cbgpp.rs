@@ -20,7 +20,9 @@
 use crate::algorithms::{Geolocator, Prediction};
 use crate::delay_model::CbgModel;
 use crate::multilateration::subset::constraint_overlaps_region;
-use crate::multilateration::{max_consistent_subset, RingConstraint};
+use crate::multilateration::{
+    max_consistent_subset, max_consistent_subset_cached, DiskCache, RingConstraint,
+};
 use crate::observation::Observation;
 use geokit::Region;
 
@@ -35,6 +37,19 @@ impl Geolocator for CbgPlusPlus {
 
     fn locate(&self, observations: &[Observation], mask: &Region) -> Prediction {
         CbgPlusPlusVariant::default().locate(observations, mask)
+    }
+}
+
+impl CbgPlusPlus {
+    /// [`Geolocator::locate`] with both constraint passes drawing disks
+    /// from a shared [`DiskCache`].
+    pub fn locate_cached(
+        &self,
+        observations: &[Observation],
+        mask: &Region,
+        cache: &DiskCache,
+    ) -> Prediction {
+        CbgPlusPlusVariant::default().locate_impl(observations, mask, Some(cache))
     }
 }
 
@@ -69,6 +84,32 @@ impl Geolocator for CbgPlusPlusVariant {
     }
 
     fn locate(&self, observations: &[Observation], mask: &Region) -> Prediction {
+        self.locate_impl(observations, mask, None)
+    }
+}
+
+impl CbgPlusPlusVariant {
+    /// [`Geolocator::locate`] with both constraint passes drawing disks
+    /// from a shared [`DiskCache`].
+    pub fn locate_cached(
+        &self,
+        observations: &[Observation],
+        mask: &Region,
+        cache: &DiskCache,
+    ) -> Prediction {
+        self.locate_impl(observations, mask, Some(cache))
+    }
+
+    fn locate_impl(
+        &self,
+        observations: &[Observation],
+        mask: &Region,
+        cache: Option<&DiskCache>,
+    ) -> Prediction {
+        let subset = |constraints: &[RingConstraint], m: &Region| match cache {
+            Some(c) => max_consistent_subset_cached(constraints, m, c),
+            None => max_consistent_subset(constraints, m),
+        };
         let slack = crate::multilateration::constraint::grid_slack_km(mask.grid());
 
         let search_mask: Region;
@@ -84,7 +125,7 @@ impl Geolocator for CbgPlusPlusVariant {
                     .inflated(slack)
                 })
                 .collect();
-            search_mask = max_consistent_subset(&baseline, mask).region;
+            search_mask = subset(&baseline, mask).region;
             if search_mask.is_empty() {
                 return Prediction {
                     region: search_mask,
@@ -117,7 +158,7 @@ impl Geolocator for CbgPlusPlusVariant {
                 region: effective_mask.clone(),
             };
         }
-        let region = max_consistent_subset(&bestline, effective_mask).region;
+        let region = subset(&bestline, effective_mask).region;
         Prediction { region }
     }
 }

@@ -42,13 +42,21 @@ pub fn bayes_region(
         };
     }
 
-    // Log-likelihood per cell (uniform prior over the mask).
+    // Log-likelihood per cell (uniform prior over the mask). Distances
+    // come from the grid's cached cell-centre trig tables (spherical law
+    // of cosines) — each landmark's trig is evaluated once, not once per
+    // cell, and agrees with the haversine to ~1e-4 km, far below the
+    // delay model's ~100 km σ.
+    let trig = grid.trig();
+    let landmarks: Vec<(geokit::PointTrig, f64)> = observations
+        .iter()
+        .map(|(lm, t)| (geokit::PointTrig::new(lm), *t))
+        .collect();
     let mut logps: Vec<f64> = Vec::with_capacity(cells.len());
     for &cell in &cells {
-        let p = grid.center(cell);
         let mut logp = 0.0;
-        for &(landmark, t) in observations {
-            logp += model.log_density(t, landmark.distance_km(&p));
+        for &(ref lm, t) in &landmarks {
+            logp += model.log_density(t, trig.distance_to_cell_km(lm, cell));
         }
         // Weight by cell area so the posterior is over *area*, not cells.
         logp += grid.cell_area_km2(cell).ln();

@@ -9,7 +9,7 @@
 //! slack ("ineffective", §5.2), so this is orders of magnitude cheaper
 //! than rasterizing every disk.
 
-use geokit::{GeoPoint, Region, SphericalCap};
+use geokit::{CapRaster, GeoGrid, GeoPoint, Region, SphericalCap};
 
 /// One per-landmark distance constraint.
 #[derive(Debug, Clone, Copy)]
@@ -81,15 +81,110 @@ pub fn grid_slack_km(grid: &geokit::GeoGrid) -> f64 {
     0.75 * grid.resolution_deg() * 111.32
 }
 
+/// The per-row allowed column runs of one constraint: the outer cap's
+/// runs minus (for annuli) the inner cap's. Cells whose centre is at
+/// exactly `min_km` from an annulus centre fall to the inner cap and are
+/// excluded — a measure-zero boundary convention shared with
+/// [`Region::from_ring`].
+pub(crate) struct ConstraintRaster<'g> {
+    outer: CapRaster<'g>,
+    inner: Option<CapRaster<'g>>,
+}
+
+impl<'g> ConstraintRaster<'g> {
+    pub(crate) fn new(grid: &'g GeoGrid, c: &RingConstraint) -> ConstraintRaster<'g> {
+        ConstraintRaster {
+            outer: CapRaster::new(grid, &SphericalCap::new(c.center, c.max_km)),
+            inner: (c.min_km > 0.0)
+                .then(|| CapRaster::new(grid, &SphericalCap::new(c.center, c.min_km))),
+        }
+    }
+
+    /// The rows the outer cap touches.
+    pub(crate) fn rows(&self) -> std::ops::Range<u32> {
+        self.outer.rows()
+    }
+
+    /// Replace `out` with `row`'s allowed half-open column runs, sorted
+    /// and disjoint. Disk constraints (no inner cap, the common case)
+    /// allocate nothing here.
+    pub(crate) fn row_runs_into(&self, row: u32, out: &mut Vec<(u32, u32)>) {
+        out.clear();
+        self.outer.row_runs(row, |lo, hi| out.push((lo, hi)));
+        if out.is_empty() {
+            return;
+        }
+        if let Some(inner) = &self.inner {
+            let mut inn = [(0u32, 0u32); 2];
+            let mut n = 0usize;
+            inner.row_runs(row, |lo, hi| {
+                inn[n] = (lo, hi);
+                n += 1;
+            });
+            if n > 0 {
+                subtract_sorted(out, &inn[..n]);
+            }
+        }
+    }
+}
+
+/// `a -= b` for sorted disjoint half-open run lists.
+fn subtract_sorted(a: &mut Vec<(u32, u32)>, b: &[(u32, u32)]) {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    for &(alo, ahi) in a.iter() {
+        let mut lo = alo;
+        for &(blo, bhi) in b {
+            if bhi <= lo || blo >= ahi {
+                continue;
+            }
+            if blo > lo {
+                out.push((lo, blo));
+            }
+            lo = lo.max(bhi);
+            if lo >= ahi {
+                break;
+            }
+        }
+        if lo < ahi {
+            out.push((lo, ahi));
+        }
+    }
+    *a = out;
+}
+
+/// `out = a ∩ b` for sorted disjoint half-open run lists.
+fn intersect_sorted(a: &[(u32, u32)], b: &[(u32, u32)], out: &mut Vec<(u32, u32)>) {
+    out.clear();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if lo < hi {
+            out.push((lo, hi));
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+}
+
 /// Intersect all constraints with each other and the mask. Returns the
 /// (possibly empty) region of mask cells satisfying every constraint.
+///
+/// The intersection runs row-by-row in closed form: each constraint's
+/// allowed columns on a latitude row are at most a handful of contiguous
+/// runs (one `acos` per cap per row), and run lists intersect by a
+/// linear merge — no per-cell distance is ever computed. Surviving runs
+/// land in the output region a whole `u64` word at a time.
 pub fn intersect_constraints(constraints: &[RingConstraint], mask: &Region) -> Region {
     let grid = mask.grid();
-    let mut out = Region::empty(std::sync::Arc::clone(grid));
     if constraints.is_empty() {
         return mask.clone();
     }
-    // Anchor on the tightest (smallest max radius) constraint.
+    // Anchor on the tightest (smallest max radius) constraint: only its
+    // latitude band can survive, so only its rows are visited.
     let anchor = constraints
         .iter()
         .enumerate()
@@ -100,19 +195,81 @@ pub fn intersect_constraints(constraints: &[RingConstraint], mask: &Region) -> R
         })
         .map(|(i, _)| i)
         .expect("nonempty constraints");
-    let cap = SphericalCap::new(constraints[anchor].center, constraints[anchor].max_km);
-    grid.for_each_cell_in_cap(&cap, |cell| {
-        if !mask.contains_cell(cell) {
-            return;
+    let rasters: Vec<ConstraintRaster<'_>> = constraints
+        .iter()
+        .map(|c| ConstraintRaster::new(grid, c))
+        .collect();
+
+    let mut out = Region::empty(std::sync::Arc::clone(grid));
+    let mut cur: Vec<(u32, u32)> = Vec::new();
+    let mut other: Vec<(u32, u32)> = Vec::new();
+    let mut next: Vec<(u32, u32)> = Vec::new();
+    for row in rasters[anchor].rows() {
+        rasters[anchor].row_runs_into(row, &mut cur);
+        for (i, raster) in rasters.iter().enumerate() {
+            if i == anchor || cur.is_empty() {
+                continue;
+            }
+            raster.row_runs_into(row, &mut other);
+            intersect_sorted(&cur, &other, &mut next);
+            std::mem::swap(&mut cur, &mut next);
         }
-        let p = grid.center(cell);
-        if constraints
-            .iter()
-            .all(|c| c.contains(&p))
-        {
-            out.insert(cell);
+        for &(lo, hi) in &cur {
+            out.insert_run(row, lo..hi);
         }
+    }
+    out.intersect_with(mask);
+    out
+}
+
+/// [`intersect_constraints`] drawing its disks from a shared
+/// [`DiskCache`](crate::multilateration::DiskCache) instead of
+/// rasterizing.
+///
+/// Radii are quantized by the cache — outer radii **up**, inner radii
+/// **down**, each by at most one grid cell — so the result covers the
+/// exact intersection (soundness preserved; precision loss bounded by
+/// the slack the grid already imposes). Use this on paths that evaluate
+/// many constraint sets over a shared constellation (the audit: proxies
+/// × landmarks × algorithms); one-off queries should prefer the exact
+/// run-based [`intersect_constraints`].
+pub fn intersect_constraints_cached(
+    constraints: &[RingConstraint],
+    mask: &Region,
+    cache: &crate::multilateration::DiskCache,
+) -> Region {
+    if constraints.is_empty() {
+        return mask.clone();
+    }
+    // Tightest disk first so the working set shrinks as fast as
+    // possible.
+    let mut order: Vec<usize> = (0..constraints.len()).collect();
+    order.sort_by(|&a, &b| {
+        constraints[a]
+            .max_km
+            .partial_cmp(&constraints[b].max_km)
+            .expect("finite radii")
     });
+    let first = &constraints[order[0]];
+    let mut out = (*cache.disk(&first.center, first.max_km)).clone();
+    if first.min_km > 0.0 {
+        if let Some(inner) = cache.inner_disk(&first.center, first.min_km) {
+            out.subtract(&inner);
+        }
+    }
+    for &i in &order[1..] {
+        if out.is_empty() {
+            break;
+        }
+        let c = &constraints[i];
+        out.intersect_with(&cache.disk(&c.center, c.max_km));
+        if c.min_km > 0.0 {
+            if let Some(inner) = cache.inner_disk(&c.center, c.min_km) {
+                out.subtract(&inner);
+            }
+        }
+    }
+    out.intersect_with(mask);
     out
 }
 
@@ -199,5 +356,35 @@ mod tests {
     #[should_panic(expected = "bad ring bounds")]
     fn inverted_ring_panics() {
         RingConstraint::ring(GeoPoint::new(0.0, 0.0), 10.0, 5.0);
+    }
+
+    #[test]
+    fn cached_intersection_covers_the_exact_one() {
+        let mask = full_mask();
+        let cache = crate::multilateration::DiskCache::new(std::sync::Arc::clone(mask.grid()));
+        let cs = [
+            RingConstraint::disk(GeoPoint::new(47.08, 2.40), 512.0),
+            RingConstraint::disk(GeoPoint::new(52.93, 1.30), 487.0),
+            RingConstraint::ring(GeoPoint::new(56.46, 10.04), 150.0, 803.0),
+        ];
+        let exact = intersect_constraints(&cs, &mask);
+        let cached = intersect_constraints_cached(&cs, &mask, &cache);
+        assert!(!exact.is_empty());
+        assert!(
+            exact.is_subset_of(&cached),
+            "quantization must only over-cover"
+        );
+        // Growth is bounded by one grid cell of radius per disk: the
+        // cached region sits inside the exact intersection of the
+        // constraints inflated by one cell.
+        let inflated: Vec<RingConstraint> =
+            cs.iter().map(|c| c.inflated(111.33)).collect();
+        assert!(cached.is_subset_of(&intersect_constraints(&inflated, &mask)));
+        // Second evaluation is served from the memo.
+        let before = cache.stats();
+        intersect_constraints_cached(&cs, &mask, &cache);
+        let after = cache.stats();
+        assert_eq!(after.misses, before.misses);
+        assert!(after.hits > before.hits);
     }
 }

@@ -1,0 +1,217 @@
+//! A shared memo of rasterized landmark disks.
+//!
+//! The audit evaluates thousands of proxies against the *same* landmark
+//! constellation, and several algorithms (CBG's bestline disks, CBG++'s
+//! baseline and bestline passes) rebuild disks around the same centres
+//! with near-identical radii. A [`DiskCache`] keys rasterized cap
+//! [`Region`]s by (landmark position, radius quantized **up** to a whole
+//! grid cell) so that every repeat is a clone of an `Arc` instead of a
+//! fresh rasterization.
+//!
+//! Quantizing the radius up preserves soundness: a cached disk is never
+//! smaller than the exact disk, so a region built from cached disks can
+//! only over-cover — it never excludes the true location. The growth is
+//! bounded by one grid cell of radius, below the rasterization slack the
+//! constraint engine already applies ([`grid_slack_km`]).
+//!
+//! The cache is safe to share across worker threads (`Arc<DiskCache>`),
+//! and — because a cached value is a pure function of its key — the
+//! *contents* reached through it are identical no matter which thread
+//! populated an entry first. Only the hit/miss counters depend on
+//! scheduling; they are telemetry, deliberately excluded from the
+//! deterministic study report that CI byte-diffs.
+//!
+//! [`grid_slack_km`]: crate::multilateration::constraint::grid_slack_km
+
+use geokit::{GeoGrid, GeoPoint, Region, SphericalCap};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Cache key: exact landmark coordinates (bit patterns — landmarks are
+/// shared constellation points, so equal positions have equal bits) plus
+/// the radius in whole grid cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct DiskKey {
+    lat_bits: u64,
+    lon_bits: u64,
+    radius_cells: u32,
+}
+
+/// Running totals of cache traffic. Scheduling-dependent under
+/// multi-threaded use (two workers can both miss the same key), so
+/// report these as telemetry, never as part of deterministic output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskCacheStats {
+    /// Lookups answered from the memo.
+    pub hits: u64,
+    /// Lookups that had to rasterize.
+    pub misses: u64,
+    /// Distinct disks currently stored.
+    pub entries: usize,
+}
+
+impl DiskCacheStats {
+    /// Hit fraction in `[0, 1]`; zero when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// An `Arc`-shared memo of rasterized landmark disks on one grid.
+#[derive(Debug)]
+pub struct DiskCache {
+    grid: Arc<GeoGrid>,
+    /// Kilometres per whole-cell radius step (one equatorial cell
+    /// height).
+    cell_km: f64,
+    map: RwLock<HashMap<DiskKey, Arc<Region>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DiskCache {
+    /// An empty cache of disks rasterized on `grid`.
+    pub fn new(grid: Arc<GeoGrid>) -> DiskCache {
+        let cell_km = grid.resolution_deg() * 111.32;
+        DiskCache {
+            grid,
+            cell_km,
+            map: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The grid the cached disks live on.
+    pub fn grid(&self) -> &Arc<GeoGrid> {
+        &self.grid
+    }
+
+    /// The radius actually rasterized for a requested radius: quantized
+    /// up to the next whole grid cell (minimum one cell).
+    pub fn quantized_radius_km(&self, radius_km: f64) -> f64 {
+        f64::from(self.radius_cells(radius_km)) * self.cell_km
+    }
+
+    fn radius_cells(&self, radius_km: f64) -> u32 {
+        ((radius_km / self.cell_km).ceil()).max(1.0) as u32
+    }
+
+    /// The rasterized disk of (up to one cell more than) `radius_km`
+    /// around `center`, from the memo when possible.
+    pub fn disk(&self, center: &GeoPoint, radius_km: f64) -> Arc<Region> {
+        self.disk_of_cells(center, self.radius_cells(radius_km))
+    }
+
+    /// The disk of (up to one cell *less* than) `radius_km` around
+    /// `center`, or `None` when the floor-quantized radius is zero.
+    ///
+    /// This is the sound quantization for the *inner* cap of an annulus
+    /// constraint: shrinking what gets subtracted can only over-cover,
+    /// mirroring how [`disk`](DiskCache::disk) grows the outer cap.
+    pub fn inner_disk(&self, center: &GeoPoint, radius_km: f64) -> Option<Arc<Region>> {
+        let cells = (radius_km / self.cell_km).floor() as u32;
+        (cells > 0).then(|| self.disk_of_cells(center, cells))
+    }
+
+    fn disk_of_cells(&self, center: &GeoPoint, cells: u32) -> Arc<Region> {
+        let key = DiskKey {
+            lat_bits: center.lat().to_bits(),
+            lon_bits: center.lon().to_bits(),
+            radius_cells: cells,
+        };
+        if let Some(region) = self.map.read().expect("disk cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(region);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let cap = SphericalCap::new(*center, f64::from(cells) * self.cell_km);
+        let region = Arc::new(Region::from_cap(&self.grid, &cap));
+        let mut map = self.map.write().expect("disk cache poisoned");
+        // A racing worker may have inserted meanwhile; both rasterized
+        // the same pure function of the key, so either value is fine.
+        Arc::clone(map.entry(key).or_insert(region))
+    }
+
+    /// Current traffic counters and size.
+    pub fn stats(&self) -> DiskCacheStats {
+        DiskCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.read().expect("disk cache poisoned").len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> DiskCache {
+        DiskCache::new(GeoGrid::new(2.0))
+    }
+
+    #[test]
+    fn repeat_lookup_hits() {
+        let c = cache();
+        let lm = GeoPoint::new(48.0, 11.0);
+        let a = c.disk(&lm, 700.0);
+        let b = c.disk(&lm, 700.0);
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn radii_in_the_same_cell_share_an_entry() {
+        let c = cache();
+        let lm = GeoPoint::new(0.0, 0.0);
+        // 2° cells are ~222.64 km: 500 and 600 km both quantize to 3.
+        let a = c.disk(&lm, 500.0);
+        let b = c.disk(&lm, 600.0);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(c.stats().entries, 1);
+    }
+
+    #[test]
+    fn quantization_never_shrinks_a_disk() {
+        let c = cache();
+        for r in [1.0, 100.0, 333.3, 1000.0, 5000.0] {
+            assert!(c.quantized_radius_km(r) >= r, "radius {r} shrank");
+        }
+        let lm = GeoPoint::new(30.0, 30.0);
+        let exact = Region::from_cap(c.grid(), &SphericalCap::new(lm, 750.0));
+        let cached = c.disk(&lm, 750.0);
+        assert!(exact.is_subset_of(&cached));
+    }
+
+    #[test]
+    fn inner_disk_never_grows() {
+        let c = cache();
+        let lm = GeoPoint::new(-20.0, 100.0);
+        // Below one cell: nothing to subtract.
+        assert!(c.inner_disk(&lm, 100.0).is_none());
+        let exact = Region::from_cap(c.grid(), &SphericalCap::new(lm, 750.0));
+        let inner = c.inner_disk(&lm, 750.0).unwrap();
+        assert!(inner.is_subset_of(&exact));
+        // Outer ceil and inner floor of the same radius share no key
+        // only when the radius is not already whole-cell.
+        assert!(inner.cell_count() <= c.disk(&lm, 750.0).cell_count());
+    }
+
+    #[test]
+    fn distinct_centers_get_distinct_entries() {
+        let c = cache();
+        c.disk(&GeoPoint::new(10.0, 10.0), 400.0);
+        c.disk(&GeoPoint::new(10.0, 12.0), 400.0);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 2, 2));
+    }
+}

@@ -3,8 +3,10 @@
 
 pub mod bayes;
 pub mod constraint;
+pub mod diskcache;
 pub mod subset;
 
 pub use bayes::{bayes_region, BayesOutput};
-pub use constraint::{intersect_constraints, RingConstraint};
-pub use subset::{max_consistent_subset, SubsetResult};
+pub use constraint::{intersect_constraints, intersect_constraints_cached, RingConstraint};
+pub use diskcache::{DiskCache, DiskCacheStats};
+pub use subset::{max_consistent_subset, max_consistent_subset_cached, SubsetResult};

@@ -15,7 +15,7 @@
 //! The fast path (everything consistent) avoids the counting sweep
 //! entirely.
 
-use crate::multilateration::constraint::{intersect_constraints, RingConstraint};
+use crate::multilateration::constraint::{intersect_constraints, ConstraintRaster, RingConstraint};
 use geokit::Region;
 
 /// Result of the subset search.
@@ -51,40 +51,82 @@ pub fn max_consistent_subset(constraints: &[RingConstraint], mask: &Region) -> S
             total,
         };
     }
+    counting_sweep(constraints, mask)
+}
 
+/// [`max_consistent_subset`] with the fast path drawing disks from a
+/// shared [`DiskCache`](crate::multilateration::DiskCache). The
+/// counting sweep (reached only when the full set is inconsistent) stays
+/// exact and run-based — it never materializes per-disk regions, so
+/// there is nothing for it to reuse.
+pub fn max_consistent_subset_cached(
+    constraints: &[RingConstraint],
+    mask: &Region,
+    cache: &crate::multilateration::DiskCache,
+) -> SubsetResult {
+    let total = constraints.len();
+    if total == 0 {
+        return SubsetResult {
+            region: mask.clone(),
+            satisfied: 0,
+            total,
+        };
+    }
+    let all = crate::multilateration::constraint::intersect_constraints_cached(
+        constraints,
+        mask,
+        cache,
+    );
+    if !all.is_empty() {
+        return SubsetResult {
+            region: all,
+            satisfied: total,
+            total,
+        };
+    }
+    counting_sweep(constraints, mask)
+}
+
+/// The inconsistent-set path: find the cells satisfying the most
+/// constraints.
+fn counting_sweep(constraints: &[RingConstraint], mask: &Region) -> SubsetResult {
+    let total = constraints.len();
     // Counting sweep: for every mask cell, how many constraints hold?
+    // Instead of testing every (cell, constraint) pair by distance, each
+    // constraint rasterizes once into per-row column runs and bumps a
+    // flat per-cell counter over its runs — the sweep is memory adds,
+    // with one `acos` per constraint per touched row as the only trig.
     let grid = mask.grid();
-    let mut best_count = 0usize;
-    let mut best_cells: Vec<geokit::CellId> = Vec::new();
-    for cell in mask.cells() {
-        let p = grid.center(cell);
-        let mut count = 0usize;
-        for c in constraints {
-            if c.contains(&p) {
-                count += 1;
-                // Early exit: can't do better than "all", and all was
-                // empty, so the max is < total; no pruning beyond that
-                // is sound because counts vary per cell.
+    let cols = grid.cols();
+    let mut counts = vec![0u32; grid.num_cells() as usize];
+    for c in constraints {
+        let raster = ConstraintRaster::new(grid, c);
+        let mut runs: Vec<(u32, u32)> = Vec::new();
+        for row in raster.rows() {
+            raster.row_runs_into(row, &mut runs);
+            let base = (row * cols) as usize;
+            for &(lo, hi) in &runs {
+                for v in &mut counts[base + lo as usize..base + hi as usize] {
+                    *v += 1;
+                }
             }
-        }
-        use std::cmp::Ordering;
-        match count.cmp(&best_count) {
-            Ordering::Greater => {
-                best_count = count;
-                best_cells.clear();
-                best_cells.push(cell);
-            }
-            Ordering::Equal if count > 0 => best_cells.push(cell),
-            _ => {}
         }
     }
+    let mut best_count = 0u32;
+    for cell in mask.cells() {
+        best_count = best_count.max(counts[cell as usize]);
+    }
     let mut region = Region::empty(std::sync::Arc::clone(grid));
-    for cell in best_cells {
-        region.insert(cell);
+    if best_count > 0 {
+        for cell in mask.cells() {
+            if counts[cell as usize] == best_count {
+                region.insert(cell);
+            }
+        }
     }
     SubsetResult {
         region,
-        satisfied: best_count,
+        satisfied: best_count as usize,
         total,
     }
 }
@@ -92,11 +134,23 @@ pub fn max_consistent_subset(constraints: &[RingConstraint], mask: &Region) -> S
 /// True if the constraint is consistent with (overlaps) a region: some
 /// region cell lies inside the constraint. Used by CBG++ to discard
 /// bestline disks that contradict the baseline region (§5.1).
+///
+/// Evaluated as a run/bitset intersection test per touched row — no
+/// per-cell distances.
 pub fn constraint_overlaps_region(constraint: &RingConstraint, region: &Region) -> bool {
     let grid = region.grid();
-    region
-        .cells()
-        .any(|cell| constraint.contains(&grid.center(cell)))
+    let raster = ConstraintRaster::new(grid, constraint);
+    let mut runs: Vec<(u32, u32)> = Vec::new();
+    for row in raster.rows() {
+        raster.row_runs_into(row, &mut runs);
+        if runs
+            .iter()
+            .any(|&(lo, hi)| region.intersects_run(row, lo..hi))
+        {
+            return true;
+        }
+    }
+    false
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@
 use crate::point::GeoPoint;
 use crate::shapes::SphericalCap;
 use crate::EARTH_RADIUS_KM;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Identifier of one grid cell: `row * cols + col`, row 0 at 90°S.
 pub type CellId = u32;
@@ -33,6 +33,9 @@ pub struct GeoGrid {
     cols: u32,
     /// Spherical area of one cell in each latitude row, km².
     row_area_km2: Vec<f64>,
+    /// Lazily built per-row / per-column trig of cell centres (see
+    /// [`GeoGrid::trig`]).
+    trig: OnceLock<GridTrig>,
 }
 
 impl GeoGrid {
@@ -70,6 +73,7 @@ impl GeoGrid {
             rows,
             cols,
             row_area_km2,
+            trig: OnceLock::new(),
         })
     }
 
@@ -136,75 +140,292 @@ impl GeoGrid {
     /// band touches plus the number of cells visited: for each row, the
     /// in-cap columns form one (possibly antimeridian-wrapping) contiguous
     /// run that is computed in closed form from the spherical law of
-    /// cosines, not by scanning all columns.
+    /// cosines ([`CapRaster`]), not by scanning all columns.
     pub fn for_each_cell_in_cap<F: FnMut(CellId)>(&self, cap: &SphericalCap, mut f: F) {
-        let angular_r = (cap.radius_km / EARTH_RADIUS_KM).min(std::f64::consts::PI);
-        let cos_r = angular_r.cos();
-        let lat_c = cap.center.lat().to_radians();
-        let (sin_lat_c, cos_lat_c) = (lat_c.sin(), lat_c.cos());
-
-        let dlat = angular_r.to_degrees();
-        let row_lo = (((cap.center.lat() - dlat + 90.0) / self.resolution_deg).floor()
-            .max(0.0)) as u32;
-        let row_hi = (((cap.center.lat() + dlat + 90.0) / self.resolution_deg).ceil())
-            .min(f64::from(self.rows)) as u32;
-
-        for row in row_lo..row_hi {
-            let lat = (-90.0 + (f64::from(row) + 0.5) * self.resolution_deg).to_radians();
-            let (sin_lat, cos_lat) = (lat.sin(), lat.cos());
-            // cos(d) = sin φc sin φ + cos φc cos φ cos Δλ  ⇒
-            // cos Δλ = (cos r − sin φc sin φ) / (cos φc cos φ)
-            let denom = cos_lat_c * cos_lat;
-            let dlon_max_deg = if denom.abs() < 1e-12 {
-                // Either the cap centre or this row is at a pole: the row is
-                // entirely in or out, decided by the latitude difference.
-                if sin_lat_c * sin_lat >= cos_r {
-                    180.0
-                } else {
-                    continue;
-                }
-            } else {
-                let cos_dlon = (cos_r - sin_lat_c * sin_lat) / denom;
-                if cos_dlon > 1.0 {
-                    continue; // row outside the cap
-                } else if cos_dlon < -1.0 {
-                    180.0 // entire row inside the cap
-                } else {
-                    cos_dlon.acos().to_degrees()
-                }
-            };
-
-            if dlon_max_deg >= 180.0 - 1e-9 {
-                // Whole row.
-                let base = row * self.cols;
-                for col in 0..self.cols {
-                    f(base + col);
-                }
-                continue;
-            }
-
-            // Columns whose centre longitude is within ±dlon_max of the cap
-            // centre longitude. Work in "column space" to handle wrap.
-            let center_col =
-                (cap.center.lon() + 180.0) / self.resolution_deg - 0.5;
-            let half_cols = dlon_max_deg / self.resolution_deg;
-            let lo = (center_col - half_cols).ceil() as i64;
-            let hi = (center_col + half_cols).floor() as i64;
-            if lo > hi {
-                continue;
-            }
+        let raster = CapRaster::new(self, cap);
+        let n = i64::from(self.cols);
+        for row in raster.rows() {
             let base = row * self.cols;
-            let n = i64::from(self.cols);
-            for c in lo..=hi {
-                let col = c.rem_euclid(n) as u32;
-                f(base + col);
+            match raster.row_span(row) {
+                RowSpan::Empty => {}
+                RowSpan::Full => {
+                    for col in 0..self.cols {
+                        f(base + col);
+                    }
+                }
+                RowSpan::Arc { lo, hi } => {
+                    // Preserve the historical wrap-order emission
+                    // (lo..=hi in unwrapped column space).
+                    for c in lo..=hi {
+                        f(base + c.rem_euclid(n) as u32);
+                    }
+                }
             }
+        }
+    }
+
+    /// Invoke `f(row, col_lo..col_hi)` for every maximal horizontal run
+    /// of cells whose centres lie inside the cap.
+    ///
+    /// Runs are non-wrapping, half-open column ranges in ascending
+    /// column order; a row whose in-cap arc crosses the antimeridian
+    /// yields two runs. This is the word-level entry point: the run
+    /// `(row, lo..hi)` covers the contiguous cell ids
+    /// `row * cols + lo .. row * cols + hi`, which
+    /// [`crate::Region::insert_run`] fills with whole-`u64` stores.
+    pub fn for_each_run_in_cap<F: FnMut(u32, std::ops::Range<u32>)>(
+        &self,
+        cap: &SphericalCap,
+        mut f: F,
+    ) {
+        let raster = CapRaster::new(self, cap);
+        for row in raster.rows() {
+            raster.row_runs(row, |lo, hi| f(row, lo..hi));
         }
     }
 
     /// Iterate over all cell ids.
     pub fn all_cells(&self) -> impl Iterator<Item = CellId> + '_ {
         0..self.num_cells()
+    }
+
+    /// The grid's cell-centre trig tables, built on first use and cached
+    /// for the grid's lifetime. Bulk per-cell distance evaluation (the
+    /// Bayesian posterior visits every mask cell for every landmark)
+    /// uses these to replace a full haversine per pair with a few cached
+    /// multiplies and one `acos`.
+    pub fn trig(&self) -> &GridTrig {
+        self.trig.get_or_init(|| {
+            let mut row_sin = Vec::with_capacity(self.rows as usize);
+            let mut row_cos = Vec::with_capacity(self.rows as usize);
+            for r in 0..self.rows {
+                let lat = (-90.0 + (f64::from(r) + 0.5) * self.resolution_deg).to_radians();
+                row_sin.push(lat.sin());
+                row_cos.push(lat.cos());
+            }
+            let mut col_sin = Vec::with_capacity(self.cols as usize);
+            let mut col_cos = Vec::with_capacity(self.cols as usize);
+            for c in 0..self.cols {
+                let lon = (-180.0 + (f64::from(c) + 0.5) * self.resolution_deg).to_radians();
+                col_sin.push(lon.sin());
+                col_cos.push(lon.cos());
+            }
+            let row_inv_cos = row_cos.iter().map(|c| 1.0 / c).collect();
+            GridTrig {
+                cols: self.cols,
+                row_sin,
+                row_cos,
+                row_inv_cos,
+                col_sin,
+                col_cos,
+            }
+        })
+    }
+}
+
+/// Precomputed sines/cosines of every cell-centre latitude and
+/// longitude of a grid (see [`GeoGrid::trig`]).
+#[derive(Debug)]
+pub struct GridTrig {
+    cols: u32,
+    row_sin: Vec<f64>,
+    row_cos: Vec<f64>,
+    /// `1 / row_cos`: cap rasterization trades its per-row division for
+    /// a multiply (cell-centre latitudes never reach ±90°, so every
+    /// entry is finite).
+    row_inv_cos: Vec<f64>,
+    col_sin: Vec<f64>,
+    col_cos: Vec<f64>,
+}
+
+/// A fixed point prepared for repeated cell-distance queries: its trig
+/// is evaluated once, not once per cell.
+#[derive(Debug, Clone, Copy)]
+pub struct PointTrig {
+    sin_lat: f64,
+    cos_lat: f64,
+    sin_lon: f64,
+    cos_lon: f64,
+}
+
+impl PointTrig {
+    /// Prepare `p` for [`GridTrig::distance_to_cell_km`] queries.
+    pub fn new(p: &GeoPoint) -> PointTrig {
+        let (lat, lon) = (p.lat().to_radians(), p.lon().to_radians());
+        PointTrig {
+            sin_lat: lat.sin(),
+            cos_lat: lat.cos(),
+            sin_lon: lon.sin(),
+            cos_lon: lon.cos(),
+        }
+    }
+}
+
+impl GridTrig {
+    /// Great-circle distance from `p` to the centre of `cell`, km, by
+    /// the spherical law of cosines over cached trig. Agrees with
+    /// [`GeoPoint::distance_km`] to within ~1e-4 km (the `acos`
+    /// formulation loses precision only for near-coincident points,
+    /// where the absolute error stays below grid noise).
+    #[inline]
+    pub fn distance_to_cell_km(&self, p: &PointTrig, cell: CellId) -> f64 {
+        let (row, col) = ((cell / self.cols) as usize, (cell % self.cols) as usize);
+        let cos_dlon = self.col_cos[col] * p.cos_lon + self.col_sin[col] * p.sin_lon;
+        let cos_d = p.sin_lat * self.row_sin[row]
+            + p.cos_lat * self.row_cos[row] * cos_dlon;
+        EARTH_RADIUS_KM * cos_d.clamp(-1.0, 1.0).acos()
+    }
+}
+
+/// The in-cap columns of one grid row, in closed form.
+///
+/// `Arc { lo, hi }` is an **inclusive** interval in *unwrapped* column
+/// space: member columns are `c.rem_euclid(cols)` for `c` in `lo..=hi`,
+/// and `hi - lo + 1 < cols` (a complete row is reported as `Full`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowSpan {
+    /// No cell centre of this row lies in the cap.
+    Empty,
+    /// Every cell centre of this row lies in the cap.
+    Full,
+    /// The centres within the cap form this contiguous arc of columns.
+    Arc {
+        /// First unwrapped column (inclusive; may be negative).
+        lo: i64,
+        /// Last unwrapped column (inclusive; may exceed `cols - 1`).
+        hi: i64,
+    },
+}
+
+/// The per-row closed-form rasterization of one spherical cap: the
+/// spherical law of cosines solved for the maximum longitude offset at
+/// each latitude row. Constructing one costs a handful of trig calls;
+/// each [`row_span`](CapRaster::row_span) costs one `acos`.
+///
+/// This is the primitive beneath [`GeoGrid::for_each_cell_in_cap`] and
+/// [`GeoGrid::for_each_run_in_cap`]; the multilateration engine also
+/// uses it directly to intersect many caps row-by-row without
+/// materializing per-cap regions.
+#[derive(Debug, Clone, Copy)]
+pub struct CapRaster<'g> {
+    grid: &'g GeoGrid,
+    /// The grid's cached cell-centre trig tables: row-span evaluation
+    /// reuses them instead of a fresh `sin`/`cos` pair per row.
+    trig: &'g GridTrig,
+    cos_r: f64,
+    sin_lat_c: f64,
+    cos_lat_c: f64,
+    /// `1 / cos_lat_c` (∞ for a cap centred exactly on a pole — the
+    /// pole branch of `row_span` fires before it is used).
+    inv_cos_lat_c: f64,
+    /// Half-columns per degree of longitude offset: `acos(·)` in
+    /// radians times this gives the arc half-width in columns.
+    cols_per_rad: f64,
+    /// Column half-width at which a row counts as [`RowSpan::Full`]
+    /// (the old `dlon ≥ 180° − 1e-9` test, in column units).
+    full_half_cols: f64,
+    /// Cap centre in fractional column coordinates.
+    center_col: f64,
+    row_lo: u32,
+    row_hi: u32,
+}
+
+impl<'g> CapRaster<'g> {
+    /// Set up the closed-form rasterization of `cap` on `grid`.
+    pub fn new(grid: &'g GeoGrid, cap: &SphericalCap) -> CapRaster<'g> {
+        let angular_r = (cap.radius_km / EARTH_RADIUS_KM).min(std::f64::consts::PI);
+        let lat_c = cap.center.lat().to_radians();
+        let dlat = angular_r.to_degrees();
+        let row_lo = (((cap.center.lat() - dlat + 90.0) / grid.resolution_deg)
+            .floor()
+            .max(0.0)) as u32;
+        let row_hi = (((cap.center.lat() + dlat + 90.0) / grid.resolution_deg).ceil())
+            .min(f64::from(grid.rows)) as u32;
+        let cos_lat_c = lat_c.cos();
+        CapRaster {
+            grid,
+            trig: grid.trig(),
+            cos_r: angular_r.cos(),
+            sin_lat_c: lat_c.sin(),
+            cos_lat_c,
+            inv_cos_lat_c: 1.0 / cos_lat_c,
+            cols_per_rad: 180.0 / std::f64::consts::PI / grid.resolution_deg,
+            full_half_cols: (180.0 - 1e-9) / grid.resolution_deg,
+            center_col: (cap.center.lon() + 180.0) / grid.resolution_deg - 0.5,
+            row_lo,
+            row_hi,
+        }
+    }
+
+    /// The rows the cap's latitude band touches (rows outside this range
+    /// are trivially [`RowSpan::Empty`]).
+    pub fn rows(&self) -> std::ops::Range<u32> {
+        self.row_lo..self.row_hi
+    }
+
+    /// The in-cap column span of `row`.
+    pub fn row_span(&self, row: u32) -> RowSpan {
+        if row < self.row_lo || row >= self.row_hi {
+            return RowSpan::Empty;
+        }
+        let (sin_lat, cos_lat) = (self.trig.row_sin[row as usize], self.trig.row_cos[row as usize]);
+        // cos(d) = sin φc sin φ + cos φc cos φ cos Δλ  ⇒
+        // cos Δλ = (cos r − sin φc sin φ) / (cos φc cos φ)
+        // The division is two reciprocal multiplies: 1/cos φc is cached
+        // on the raster, 1/cos φ in the grid's trig tables.
+        let denom = self.cos_lat_c * cos_lat;
+        let half_cols = if denom.abs() < 1e-12 {
+            // Either the cap centre or this row is at a pole: the row is
+            // entirely in or out, decided by the latitude difference.
+            if self.sin_lat_c * sin_lat >= self.cos_r {
+                return RowSpan::Full;
+            }
+            return RowSpan::Empty;
+        } else {
+            let cos_dlon = (self.cos_r - self.sin_lat_c * sin_lat)
+                * self.inv_cos_lat_c
+                * self.trig.row_inv_cos[row as usize];
+            if cos_dlon > 1.0 {
+                return RowSpan::Empty;
+            } else if cos_dlon < -1.0 {
+                return RowSpan::Full;
+            }
+            cos_dlon.acos() * self.cols_per_rad
+        };
+        if half_cols >= self.full_half_cols {
+            return RowSpan::Full;
+        }
+        let lo = (self.center_col - half_cols).ceil() as i64;
+        let hi = (self.center_col + half_cols).floor() as i64;
+        if lo > hi {
+            return RowSpan::Empty;
+        }
+        if hi - lo + 1 >= i64::from(self.grid.cols) {
+            return RowSpan::Full;
+        }
+        RowSpan::Arc { lo, hi }
+    }
+
+    /// Emit `row`'s span as maximal non-wrapping half-open column runs,
+    /// in ascending column order (`f(col_lo, col_hi)` with
+    /// `col_lo < col_hi`). A wrapping arc yields two runs.
+    pub fn row_runs<F: FnMut(u32, u32)>(&self, row: u32, mut f: F) {
+        let cols = i64::from(self.grid.cols);
+        match self.row_span(row) {
+            RowSpan::Empty => {}
+            RowSpan::Full => f(0, self.grid.cols),
+            RowSpan::Arc { lo, hi } => {
+                let l = lo.rem_euclid(cols);
+                let h = l + (hi - lo); // inclusive, < 2*cols
+                if h < cols {
+                    f(l as u32, (h + 1) as u32);
+                } else {
+                    // Wraps: [l, cols) and [0, h - cols]; ascending order.
+                    f(0, (h - cols + 1) as u32);
+                    f(l as u32, cols as u32);
+                }
+            }
+        }
     }
 }
 
@@ -293,6 +514,67 @@ mod tests {
         let mut n = 0u32;
         g.for_each_cell_in_cap(&cap, |_| n += 1);
         assert_eq!(n, g.num_cells());
+    }
+
+    #[test]
+    fn runs_flatten_to_the_same_cells() {
+        let g = GeoGrid::new(2.0);
+        for (lat, lon, r) in [
+            (50.0, 10.0, 800.0),
+            (0.0, 0.0, 3000.0),
+            (-40.0, 175.0, 1500.0), // wraps the antimeridian
+            (85.0, 0.0, 1200.0),    // polar
+            (12.0, 34.0, crate::MAX_GC_DISTANCE_KM), // whole earth
+        ] {
+            let cap = SphericalCap::new(GeoPoint::new(lat, lon), r);
+            let mut from_runs = Vec::new();
+            g.for_each_run_in_cap(&cap, |row, cols| {
+                assert!(cols.start < cols.end, "empty run emitted");
+                assert!(cols.end <= g.cols());
+                for c in cols {
+                    from_runs.push(row * g.cols() + c);
+                }
+            });
+            let mut from_cells = Vec::new();
+            g.for_each_cell_in_cap(&cap, |c| from_cells.push(c));
+            from_cells.sort_unstable();
+            assert_eq!(from_runs, from_cells, "cap at ({lat},{lon}) r={r}");
+        }
+    }
+
+    #[test]
+    fn runs_within_a_row_are_ascending_and_disjoint() {
+        let g = GeoGrid::new(1.0);
+        let cap = SphericalCap::new(GeoPoint::new(-30.0, 179.0), 2000.0);
+        let mut per_row: std::collections::HashMap<u32, Vec<std::ops::Range<u32>>> =
+            std::collections::HashMap::new();
+        g.for_each_run_in_cap(&cap, |row, cols| per_row.entry(row).or_default().push(cols));
+        for (row, runs) in per_row {
+            for pair in runs.windows(2) {
+                assert!(
+                    pair[0].end < pair[1].start,
+                    "row {row}: runs {pair:?} overlap or touch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trig_distance_matches_haversine() {
+        let g = GeoGrid::new(2.0);
+        let trig = g.trig();
+        for (lat, lon) in [(0.0, 0.0), (51.3, -0.4), (-67.0, 143.0), (89.0, -179.0)] {
+            let p = GeoPoint::new(lat, lon);
+            let pt = PointTrig::new(&p);
+            for cell in (0..g.num_cells()).step_by(97) {
+                let exact = p.distance_km(&g.center(cell));
+                let fast = trig.distance_to_cell_km(&pt, cell);
+                assert!(
+                    (exact - fast).abs() < 1e-3,
+                    "cell {cell}: haversine {exact} vs trig {fast}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod sampling;
 pub mod shapes;
 pub mod stats;
 
-pub use grid::{CellId, GeoGrid};
+pub use grid::{CapRaster, CellId, GeoGrid, GridTrig, PointTrig, RowSpan};
 pub use point::GeoPoint;
 pub use region::Region;
 pub use shapes::{GeoBox, Shape, SphericalCap};

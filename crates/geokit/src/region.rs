@@ -21,6 +21,16 @@ pub struct Region {
     count: u32,
 }
 
+impl PartialEq for Region {
+    /// Two regions are equal when they live on grids of the same
+    /// resolution and contain exactly the same cells.
+    fn eq(&self, other: &Region) -> bool {
+        self.grid.resolution_deg() == other.grid.resolution_deg() && self.bits == other.bits
+    }
+}
+
+impl Eq for Region {}
+
 impl std::fmt::Debug for Region {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Region")
@@ -42,25 +52,41 @@ impl Region {
         }
     }
 
-    /// The full region (every cell) on `grid`.
+    /// The full region (every cell) on `grid`: whole words of `!0` plus
+    /// a masked tail, not `num_cells` single-bit inserts.
     pub fn full(grid: Arc<GeoGrid>) -> Region {
         let n = grid.num_cells();
         let mut r = Region::empty(grid);
-        for cell in 0..n {
-            r.insert(cell);
+        let whole = (n as usize) / 64;
+        for w in &mut r.bits[..whole] {
+            *w = !0u64;
         }
+        let tail = (n as usize) % 64;
+        if tail > 0 {
+            r.bits[whole] = (1u64 << tail) - 1;
+        }
+        r.count = n;
         r
     }
 
-    /// Region of all cells whose centre lies within the cap.
+    /// Region of all cells whose centre lies within the cap, filled one
+    /// horizontal run at a time.
     pub fn from_cap(grid: &Arc<GeoGrid>, cap: &SphericalCap) -> Region {
         let mut r = Region::empty(Arc::clone(grid));
-        grid.for_each_cell_in_cap(cap, |c| r.insert(c));
+        grid.for_each_run_in_cap(cap, |row, cols| r.insert_run(row, cols));
         r
     }
 
     /// Region of all cells whose centre is between `min_km` and `max_km`
-    /// (inclusive) of `center`: an annulus, as used by ring multilateration.
+    /// of `center`: an annulus, as used by ring multilateration.
+    ///
+    /// Computed as run arithmetic — the outer cap's runs minus the inner
+    /// cap's runs — so the cost is proportional to the word count of the
+    /// touched rows, with no per-cell distance evaluation. Cells whose
+    /// centre lies *exactly* `min_km` from `center` land on the
+    /// boundary between the subtracted inner cap and the ring; they are
+    /// treated as inside the inner cap (a measure-zero set for measured
+    /// radii).
     pub fn from_ring(
         grid: &Arc<GeoGrid>,
         center: GeoPoint,
@@ -73,11 +99,11 @@ impl Region {
         );
         let outer = SphericalCap::new(center, max_km);
         let mut r = Region::empty(Arc::clone(grid));
-        grid.for_each_cell_in_cap(&outer, |c| {
-            if center.distance_km(&grid.center(c)) >= min_km {
-                r.insert(c);
-            }
-        });
+        grid.for_each_run_in_cap(&outer, |row, cols| r.insert_run(row, cols));
+        if min_km > 0.0 {
+            let inner = SphericalCap::new(center, min_km);
+            grid.for_each_run_in_cap(&inner, |row, cols| r.remove_run(row, cols));
+        }
         r
     }
 
@@ -118,6 +144,101 @@ impl Region {
             self.bits[w] &= !mask;
             self.count -= 1;
         }
+    }
+
+    /// The word mask covering bit positions `[lo, hi)` of a word, given
+    /// the clamped in-word bounds.
+    #[inline]
+    fn word_mask(lo: usize, hi: usize) -> u64 {
+        debug_assert!(lo < hi && hi <= 64);
+        (!0u64 >> (64 - (hi - lo))) << lo
+    }
+
+    /// Visit every word overlapping the half-open cell-id range
+    /// `[lo, hi)` as `(word_index, mask_of_range_bits)`.
+    #[inline]
+    fn for_each_word_in_range<F: FnMut(&mut u64, u64)>(&mut self, lo: u32, hi: u32, mut f: F) {
+        let (lo, hi) = (lo as usize, hi as usize);
+        debug_assert!(hi <= self.bits.len() * 64);
+        if lo >= hi {
+            return;
+        }
+        let (w0, w1) = (lo / 64, (hi - 1) / 64);
+        if w0 == w1 {
+            f(&mut self.bits[w0], Self::word_mask(lo % 64, (hi - 1) % 64 + 1));
+            return;
+        }
+        f(&mut self.bits[w0], Self::word_mask(lo % 64, 64));
+        for w in w0 + 1..w1 {
+            f(&mut self.bits[w], !0u64);
+        }
+        f(&mut self.bits[w1], Self::word_mask(0, (hi - 1) % 64 + 1));
+    }
+
+    /// Insert the contiguous run of cells `row * cols + cols_range` —
+    /// one horizontal grid run — with whole-word stores. Idempotent.
+    pub fn insert_run(&mut self, row: u32, cols: std::ops::Range<u32>) {
+        let base = row * self.grid.cols();
+        let mut added = 0u32;
+        self.for_each_word_in_range(base + cols.start, base + cols.end, |w, mask| {
+            added += (mask & !*w).count_ones();
+            *w |= mask;
+        });
+        self.count += added;
+    }
+
+    /// Remove the contiguous run of cells `row * cols + cols_range` with
+    /// whole-word stores. Idempotent.
+    pub fn remove_run(&mut self, row: u32, cols: std::ops::Range<u32>) {
+        let base = row * self.grid.cols();
+        let mut removed = 0u32;
+        self.for_each_word_in_range(base + cols.start, base + cols.end, |w, mask| {
+            removed += (mask & *w).count_ones();
+            *w &= !mask;
+        });
+        self.count -= removed;
+    }
+
+    /// Number of member cells within the run `row * cols + cols_range`,
+    /// by word-level popcount.
+    pub fn count_run(&self, row: u32, cols: std::ops::Range<u32>) -> u32 {
+        let base = row * self.grid.cols();
+        let (lo, hi) = ((base + cols.start) as usize, (base + cols.end) as usize);
+        if lo >= hi {
+            return 0;
+        }
+        let (w0, w1) = (lo / 64, (hi - 1) / 64);
+        if w0 == w1 {
+            return (self.bits[w0] & Self::word_mask(lo % 64, (hi - 1) % 64 + 1)).count_ones();
+        }
+        let mut n = (self.bits[w0] & Self::word_mask(lo % 64, 64)).count_ones();
+        for w in w0 + 1..w1 {
+            n += self.bits[w].count_ones();
+        }
+        n + (self.bits[w1] & Self::word_mask(0, (hi - 1) % 64 + 1)).count_ones()
+    }
+
+    /// True if any member cell lies within the run (cheaper than
+    /// [`count_run`](Self::count_run): early-exits on the first hit).
+    pub fn intersects_run(&self, row: u32, cols: std::ops::Range<u32>) -> bool {
+        let base = row * self.grid.cols();
+        let (lo, hi) = ((base + cols.start) as usize, (base + cols.end) as usize);
+        if lo >= hi {
+            return false;
+        }
+        let (w0, w1) = (lo / 64, (hi - 1) / 64);
+        if w0 == w1 {
+            return self.bits[w0] & Self::word_mask(lo % 64, (hi - 1) % 64 + 1) != 0;
+        }
+        if self.bits[w0] & Self::word_mask(lo % 64, 64) != 0 {
+            return true;
+        }
+        for w in w0 + 1..w1 {
+            if self.bits[w] != 0 {
+                return true;
+            }
+        }
+        self.bits[w1] & Self::word_mask(0, (hi - 1) % 64 + 1) != 0
     }
 
     /// Membership test.
@@ -405,6 +526,60 @@ mod tests {
         let d = r.distance_from_km(&far).unwrap();
         assert!((d - 1500.0).abs() < 120.0, "got {d}");
         assert_eq!(Region::empty(g).distance_from_km(&c), None);
+    }
+
+    #[test]
+    fn run_ops_match_per_cell_ops() {
+        let g = grid();
+        let cols = g.cols();
+        // Runs chosen to exercise word boundaries: within one word,
+        // spanning two, whole row, and single-cell.
+        let cases: &[(u32, std::ops::Range<u32>)] = &[
+            (0, 3..17),
+            (1, 60..70),
+            (2, 0..cols),
+            (3, 63..64),
+            (45, 10..138),
+            (89, 0..1),
+        ];
+        let mut by_runs = Region::empty(Arc::clone(&g));
+        let mut by_cells = Region::empty(Arc::clone(&g));
+        for (row, run) in cases {
+            by_runs.insert_run(*row, run.clone());
+            for c in run.clone() {
+                by_cells.insert(row * cols + c);
+            }
+        }
+        assert_eq!(by_runs, by_cells);
+        for (row, run) in cases {
+            assert_eq!(by_runs.count_run(*row, run.clone()), run.len() as u32);
+            assert!(by_runs.intersects_run(*row, run.clone()));
+        }
+        assert_eq!(by_runs.count_run(4, 0..cols), 0);
+        assert!(!by_runs.intersects_run(4, 0..cols));
+        // Partial overlap counts only the overlapping cells.
+        assert_eq!(by_runs.count_run(0, 10..30), 7);
+        // Removal mirrors insertion.
+        for (row, run) in cases {
+            by_runs.remove_run(*row, run.clone());
+            for c in run.clone() {
+                by_cells.remove(row * cols + c);
+            }
+        }
+        assert_eq!(by_runs, by_cells);
+        assert!(by_runs.is_empty());
+    }
+
+    #[test]
+    fn insert_run_is_idempotent_on_count() {
+        let g = grid();
+        let mut r = Region::empty(g);
+        r.insert_run(5, 20..90);
+        assert_eq!(r.cell_count(), 70);
+        r.insert_run(5, 50..120); // overlaps [50, 90)
+        assert_eq!(r.cell_count(), 100);
+        r.remove_run(5, 0..40); // only [20, 40) present
+        assert_eq!(r.cell_count(), 80);
     }
 
     #[test]

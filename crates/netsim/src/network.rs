@@ -17,15 +17,20 @@ use crate::topology::Topology;
 use crate::NodeId;
 use simrng::rngs::StdRng;
 use simrng::SeedableRng;
+use std::sync::Arc;
 
 /// Default wait before a probe with no reply is charged to the clock:
 /// the client's timeout (ms).
 pub const DEFAULT_PROBE_TIMEOUT_MS: f64 = 2_000.0;
 
 /// A simulated network ready to be measured.
+///
+/// Topology and routing are `Arc`-shared so [`fork`](Network::fork) can
+/// hand out independent measurement handles over the same world without
+/// copying the graph or the Dijkstra cache.
 pub struct Network {
-    topo: Topology,
-    router: Router,
+    topo: Arc<Topology>,
+    router: Arc<Router>,
     model: DelayModel,
     faults: FaultPlan,
     rng: StdRng,
@@ -47,13 +52,36 @@ impl Network {
     /// Wrap a topology with an explicit delay model.
     pub fn with_model(topo: Topology, model: DelayModel, seed: u64) -> Network {
         Network {
-            topo,
-            router: Router::new(),
+            topo: Arc::new(topo),
+            router: Arc::new(Router::new()),
             model,
             faults: FaultPlan::default(),
             rng: StdRng::seed_from_u64(seed),
             now: SimTime::ZERO,
             probe_timeout: SimDuration::from_ms(DEFAULT_PROBE_TIMEOUT_MS),
+        }
+    }
+
+    /// An independent measurement handle over the same world.
+    ///
+    /// The fork shares the topology and the router's Dijkstra cache
+    /// (both `Arc`; route content is a pure function of the topology, so
+    /// sharing the cache across threads cannot change any result), deep
+    /// copies the fault plan's mutable state, inherits the parent's
+    /// clock, and starts a **fresh RNG stream** from `seed`. Probing
+    /// through a fork never advances the parent's clock or RNG — the
+    /// basis of the audit's per-proxy parallelism: results depend only
+    /// on (shared world, per-proxy seed), not on which thread measures
+    /// which proxy first.
+    pub fn fork(&self, seed: u64) -> Network {
+        Network {
+            topo: Arc::clone(&self.topo),
+            router: Arc::clone(&self.router),
+            model: self.model.clone(),
+            faults: self.faults.clone(),
+            rng: StdRng::seed_from_u64(seed),
+            now: self.now,
+            probe_timeout: self.probe_timeout,
         }
     }
 
@@ -78,10 +106,12 @@ impl Network {
         &self.topo
     }
 
-    /// Mutable topology access; invalidates the routing cache.
+    /// Mutable topology access; invalidates the routing cache. If forks
+    /// of this network are alive the topology is copied-on-write — forks
+    /// keep seeing the world as it was when they were taken.
     pub fn topology_mut(&mut self) -> &mut Topology {
         self.router.invalidate();
-        &mut self.topo
+        Arc::make_mut(&mut self.topo)
     }
 
     /// The delay model in force.
@@ -564,6 +594,49 @@ mod tests {
         assert!(corrupted.to_bits() != d.as_ms().to_bits());
         net.faults_mut().set_corrupt_chance(0.0);
         assert_eq!(net.corrupt_rtt_ms(7.5), 7.5);
+    }
+
+    #[test]
+    fn fork_is_independent_and_deterministic() {
+        let (mut parent, client, _, lm) = net();
+        // Burn some parent state so forks start from a nontrivial clock.
+        parent.tcp_connect_rtt(client, lm, 80);
+        let parent_now = parent.now();
+        let parent_rng_probe = |n: &mut Network| {
+            (0..5)
+                .filter_map(|_| n.tcp_connect_rtt(client, lm, 80))
+                .map(|d| d.as_nanos())
+                .collect::<Vec<_>>()
+        };
+        // Same seed ⇒ identical fork streams, regardless of what other
+        // forks did in between.
+        let mut a = parent.fork(7);
+        let run_a = parent_rng_probe(&mut a);
+        let mut noise = parent.fork(99);
+        parent_rng_probe(&mut noise);
+        let mut b = parent.fork(7);
+        let run_b = parent_rng_probe(&mut b);
+        assert_eq!(run_a, run_b);
+        // Forks never touched the parent's clock.
+        assert_eq!(parent.now(), parent_now);
+        // Fault state is copied, not shared.
+        let mut c = parent.fork(3);
+        c.faults_mut().add_permanent_outage(lm, SimTime::ZERO);
+        assert!(c.tcp_connect_rtt(client, lm, 80).is_none());
+        assert!(parent.tcp_connect_rtt(client, lm, 80).is_some());
+    }
+
+    #[test]
+    fn parent_topology_edit_does_not_leak_into_forks() {
+        let (mut parent, client, _, lm) = net();
+        let fork = parent.fork(1);
+        parent.topology_mut().node_mut(lm).policy.filtered_tcp_ports = vec![80];
+        assert!(parent.tcp_connect_rtt(client, lm, 80).is_none());
+        let mut fork = fork;
+        assert!(
+            fork.tcp_connect_rtt(client, lm, 80).is_some(),
+            "fork must keep its copy-on-write view of the world"
+        );
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub struct Link {
 }
 
 /// The network graph.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Topology {
     nodes: Vec<Node>,
     links: Vec<Link>,

@@ -1,0 +1,191 @@
+#![warn(missing_docs)]
+
+//! # parallel
+//!
+//! A tiny scoped worker pool for embarrassingly parallel, deterministic
+//! fan-out: [`map_indexed`] runs one closure per input item across a
+//! fixed number of OS threads and returns the outputs **in input
+//! order**, regardless of which thread finished which item first.
+//!
+//! The pool exists so the audit pipeline can parallelize across proxies
+//! without giving up the workspace's reproducibility contract: as long
+//! as each item's computation is a pure function of the item (every
+//! proxy derives its own RNG stream from its own seed), the output
+//! vector is byte-identical for any thread count, including 1.
+//!
+//! Like everything else in this workspace, the crate has zero external
+//! dependencies — it is `std::thread::scope` plus an atomic work
+//! counter. Items are claimed one at a time from a shared cursor
+//! (dynamic scheduling), so a slow item does not stall a whole
+//! pre-assigned chunk.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The environment variable that pins the worker count for every
+/// consumer of [`configured_threads`] (the CI determinism gate runs the
+/// audit under `PV_THREADS=1` and `PV_THREADS=4` and diffs the output).
+pub const THREADS_ENV: &str = "PV_THREADS";
+
+/// The worker count to use when the caller expresses no preference:
+/// `PV_THREADS` if set to a positive integer, otherwise the machine's
+/// available parallelism, otherwise 1.
+pub fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on `threads` worker threads, preserving input
+/// order in the output.
+///
+/// `f` receives `(index, item)` and its results are reassembled by
+/// index, so the returned vector is identical to the serial
+/// `items.into_iter().enumerate().map(...)` whenever `f` is a pure
+/// function of its arguments. Scheduling is dynamic: workers claim the
+/// next unclaimed index from a shared atomic cursor, so load imbalance
+/// across items costs at most one item's latency.
+///
+/// With `threads <= 1`, or fewer than two items, everything runs on the
+/// calling thread with no pool at all — the 1-thread path *is* the
+/// serial path, not a simulation of it.
+///
+/// # Panics
+/// Panics if a worker panics (the panic is propagated, not swallowed).
+pub fn map_indexed<T, U, F>(threads: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n < 2 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let workers = threads.min(n);
+    // Hand items out through Options so workers can take them by index
+    // without consuming the vector in order. Mutex (not UnsafeCell) for
+    // an unambiguously safe claim; each slot is locked exactly once.
+    let slots: Vec<Mutex<Option<T>>> =
+        items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let cursor = AtomicUsize::new(0);
+
+    let mut buffers: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let slots = &slots;
+            let cursor = &cursor;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("item slot poisoned")
+                        .take()
+                        .expect("item claimed twice");
+                    local.push((i, f(i, item)));
+                }
+                local
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            })
+            .collect()
+    });
+
+    // Reassemble in input order.
+    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    for (i, u) in buffers.drain(..).flatten() {
+        debug_assert!(out[i].is_none(), "duplicate result for index {i}");
+        out[i] = Some(u);
+    }
+    out.into_iter().map(|o| o.expect("missing result")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        for threads in [1, 2, 4, 8] {
+            let items: Vec<u64> = (0..97).collect();
+            let out = map_indexed(threads, items, |i, x| {
+                assert_eq!(i as u64, x);
+                x * x
+            });
+            assert_eq!(out, (0..97u64).map(|x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        // A per-item "RNG stream": seed derived from the item alone, so
+        // the output must not depend on scheduling.
+        let run = |threads: usize| {
+            map_indexed(threads, (0u64..40).collect(), |_, seed| {
+                let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xdead_beef;
+                for _ in 0..100 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                }
+                x
+            })
+        };
+        let serial = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(serial, run(threads));
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u32> = Vec::new();
+        assert!(map_indexed(4, none, |_, x: u32| x).is_empty());
+        assert_eq!(map_indexed(4, vec![7u32], |i, x| (i, x)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = map_indexed(32, vec![1u32, 2, 3], |_, x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panic_propagates() {
+        map_indexed(2, (0..8u32).collect(), |_, x| {
+            if x == 5 {
+                panic!("worker boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn configured_threads_is_positive() {
+        assert!(configured_threads() >= 1);
+    }
+}

@@ -10,11 +10,11 @@ use geoloc::algorithms::CbgPlusPlus;
 use geoloc::assess::{assess_claim, Assessment, ClaimVerdict, ContinentVerdict};
 use geoloc::disambiguate::{by_data_centers, by_touched_sets, Disambiguation};
 use geoloc::iclab::{IclabChecker, IclabVerdict};
+use geoloc::multilateration::{DiskCache, DiskCacheStats};
 use geoloc::proxy::{estimate_eta, EtaEstimate, ProxyContext, DEFAULT_ETA};
 use geoloc::reliability::{MeasurementDiagnostics, ProbeScheduler};
 use geoloc::twophase::{run_two_phase_reliable, MeasurementStatus, ProxyProber};
-use geoloc::Geolocator;
-use netsim::{FilterPolicy, NodeId, SimDuration, WorldNet, WorldNetConfig};
+use netsim::{FilterPolicy, Network, NodeId, SimDuration, WorldNet, WorldNetConfig};
 use simrng::rngs::StdRng;
 use simrng::SeedableRng;
 use std::sync::Arc;
@@ -109,6 +109,12 @@ pub struct StudyResults {
     /// Count of unmeasured proxies (`failures.len()`, kept as a plain
     /// number for quick summaries).
     pub unmeasured: usize,
+    /// Landmark disk-cache telemetry. Hit/miss split is
+    /// scheduling-dependent under >1 thread (two workers can race to
+    /// rasterize the same disk) — report it, never diff it.
+    pub cache: DiskCacheStats,
+    /// Worker count the audit actually ran with.
+    pub threads: usize,
 }
 
 impl Study {
@@ -144,10 +150,28 @@ impl Study {
         }
     }
 
-    /// Run the audit over every deployed proxy.
+    /// Run the audit over every deployed proxy, on
+    /// [`parallel::configured_threads`] workers (`PV_THREADS` pins the
+    /// count; results are byte-identical for any value — see
+    /// [`run_with_threads`](Study::run_with_threads)).
     pub fn run(&mut self) -> StudyResults {
+        self.run_with_threads(parallel::configured_threads())
+    }
+
+    /// Run the audit with an explicit worker count.
+    ///
+    /// Per-proxy work fans out over `threads` workers via an
+    /// order-preserving map. Each proxy measures through its own
+    /// [`Network::fork`] (own RNG stream, clock, and fault state; shared
+    /// read-only topology and route cache) with every seed derived from
+    /// `(config.seed, proxy.node)` alone, so records, failures, and any
+    /// report rendered from them are **byte-identical for every thread
+    /// count, including 1**. η estimation (needs the shared clock) runs
+    /// serially before the fan-out; co-location disambiguation (needs
+    /// all records) after it. Only the disk-cache hit/miss telemetry is
+    /// scheduling-dependent.
+    pub fn run_with_threads(&mut self, threads: usize) -> StudyResults {
         let atlas = Arc::clone(self.world.atlas());
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xaad17);
 
         // η estimation over the pingable subset (§5.3, Fig. 13).
         let pingable: Vec<NodeId> = self
@@ -165,129 +189,43 @@ impl Study {
         );
         let eta = eta_est.map_or(DEFAULT_ETA, |e| e.eta());
 
-        let checker = IclabChecker::default();
-        let locator = CbgPlusPlus;
+        let cache = Arc::new(DiskCache::new(Arc::clone(self.mask.grid())));
         let reliability = self.config.reliability;
-        let mut records: Vec<ProxyRecord> = Vec::with_capacity(self.providers.proxies.len());
-        let mut failures: Vec<UnmeasuredProxy> = Vec::new();
+        let config = &self.config;
+        let constellation = &self.constellation;
+        let calibration = &self.calibration;
+        let registry = &self.registry;
+        let mask = &self.mask;
+        let network = self.world.network();
+        let client = self.client;
+        let atlas_ref = &atlas;
+        let cache_ref = &cache;
 
-        for proxy in self.providers.proxies.clone() {
-            let server = LandmarkServer::new(&self.constellation, &self.calibration, &atlas);
-            // Establish the tunnel context with the same retry budget as
-            // a probe: a flap during session setup should not write the
-            // proxy off. The backoff here is deterministic (no jitter) —
-            // it only advances the sim clock.
-            let mut establish_attempts = 0usize;
-            let mut ctx = None;
-            for attempt in 0..reliability.retry.max_attempts.max(1) {
-                if attempt > 0 {
-                    let wait = (reliability.retry.base_backoff_ms
-                        * reliability.retry.backoff_factor.powi(attempt as i32 - 1))
-                    .min(reliability.retry.max_backoff_ms);
-                    self.world.network_mut().advance(SimDuration::from_ms(wait));
-                }
-                establish_attempts += 1;
-                ctx = ProxyContext::establish(
-                    self.world.network_mut(),
-                    self.client,
-                    proxy.node,
-                    eta,
-                    self.config.self_ping_attempts,
-                );
-                if ctx.is_some() {
-                    break;
-                }
-            }
-            let Some(ctx) = ctx else {
-                failures.push(UnmeasuredProxy {
-                    proxy,
-                    failure: MeasureFailure::Unmeasurable,
-                    diagnostics: MeasurementDiagnostics {
-                        attempts: establish_attempts,
-                        retries: establish_attempts - 1,
-                        timeouts: establish_attempts,
-                        ..Default::default()
-                    },
-                });
-                continue;
-            };
-            let prober = ProxyProber {
-                ctx,
-                attempts: self.config.attempts_per_landmark,
-            };
-            let mut scheduler = ProbeScheduler::new(
-                prober,
-                reliability.retry,
-                self.config.seed ^ 0xba0ff ^ u64::from(proxy.node),
-            );
-            let outcome = run_two_phase_reliable(
-                self.world.network_mut(),
-                &server,
-                &mut scheduler,
-                &mut rng,
-                &reliability,
-            );
-            drop(server);
-            let mut diagnostics = outcome.diagnostics;
-            diagnostics.attempts += establish_attempts;
-            diagnostics.retries += establish_attempts - 1;
-            let two_phase = match (outcome.status, outcome.result) {
-                (MeasurementStatus::Ok, Some(r)) => r,
-                (MeasurementStatus::InsufficientData, _) => {
-                    failures.push(UnmeasuredProxy {
-                        proxy,
-                        failure: MeasureFailure::InsufficientData,
-                        diagnostics,
-                    });
-                    continue;
-                }
-                _ => {
-                    failures.push(UnmeasuredProxy {
-                        proxy,
-                        failure: MeasureFailure::Unmeasurable,
-                        diagnostics,
-                    });
-                    continue;
-                }
-            };
-
-            let prediction = locator.locate(&two_phase.observations, &self.mask);
-            let verdict = assess_claim(&atlas, &prediction.region, proxy.claimed);
-
-            // Data-center disambiguation (Fig. 15).
-            let dc_country = match by_data_centers(&self.registry, &prediction.region) {
-                Disambiguation::Resolved(c) => Some(c),
-                Disambiguation::Unresolved => None,
-            };
-            let mut refined = verdict.clone();
-            if refined.assessment == Assessment::Uncertain {
-                if let Some(c) = dc_country {
-                    refined.assessment = if c == proxy.claimed {
-                        Assessment::Credible
-                    } else {
-                        Assessment::False
-                    };
-                }
-            }
-
-            let iclab = checker.check(&atlas, proxy.claimed, &two_phase.observations);
-            records.push(ProxyRecord {
-                continent_guess: two_phase.continent,
-                region_area_km2: prediction.region.area_km2(),
-                centroid: prediction.region.centroid(),
-                observations: two_phase
-                    .observations
-                    .iter()
-                    .map(|o| (o.landmark, o.one_way_ms))
-                    .collect(),
-                self_ping_ms: scheduler.inner.ctx.self_ping_ms,
-                iclab,
-                verdict,
-                refined,
-                dc_country,
-                diagnostics,
+        let proxies = self.providers.proxies.clone();
+        let outcomes = parallel::map_indexed(threads, proxies, |_, proxy| {
+            measure_one_proxy(
                 proxy,
-            });
+                network,
+                client,
+                eta,
+                config,
+                &reliability,
+                constellation,
+                calibration,
+                atlas_ref,
+                mask,
+                registry,
+                cache_ref,
+            )
+        });
+
+        let mut records: Vec<ProxyRecord> = Vec::with_capacity(outcomes.len());
+        let mut failures: Vec<UnmeasuredProxy> = Vec::new();
+        for outcome in outcomes {
+            match outcome {
+                ProxyOutcome::Record(r) => records.push(*r),
+                ProxyOutcome::Failure(f) => failures.push(f),
+            }
         }
 
         // Co-location group disambiguation (Fig. 16): within a group, the
@@ -300,8 +238,147 @@ impl Study {
             eta: eta_est,
             failures,
             unmeasured,
+            cache: cache.stats(),
+            threads: threads.max(1),
         }
     }
+}
+
+/// What one proxy's measurement produced.
+enum ProxyOutcome {
+    Record(Box<ProxyRecord>),
+    Failure(UnmeasuredProxy),
+}
+
+/// Measure, locate, and judge one proxy. Pure in the parallelism sense:
+/// every stochastic input is derived from `(config.seed, proxy.node)`
+/// and the shared read-only world, so the outcome is independent of
+/// which worker runs it and in what order.
+#[allow(clippy::too_many_arguments)]
+fn measure_one_proxy(
+    proxy: DeployedProxy,
+    network: &Network,
+    client: NodeId,
+    eta: f64,
+    config: &StudyConfig,
+    reliability: &geoloc::ReliabilityConfig,
+    constellation: &Constellation,
+    calibration: &CalibrationDb,
+    atlas: &Arc<WorldAtlas>,
+    mask: &Region,
+    registry: &DataCenterRegistry,
+    cache: &Arc<DiskCache>,
+) -> ProxyOutcome {
+    let mix = u64::from(proxy.node).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut net = network.fork(config.seed ^ 0xf0bca ^ mix);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xaad17 ^ mix);
+    let server = LandmarkServer::new(constellation, calibration, atlas);
+    // Establish the tunnel context with the same retry budget as a
+    // probe: a flap during session setup should not write the proxy
+    // off. The backoff here is deterministic (no jitter) — it only
+    // advances the sim clock.
+    let mut establish_attempts = 0usize;
+    let mut ctx = None;
+    for attempt in 0..reliability.retry.max_attempts.max(1) {
+        if attempt > 0 {
+            let wait = (reliability.retry.base_backoff_ms
+                * reliability.retry.backoff_factor.powi(attempt as i32 - 1))
+            .min(reliability.retry.max_backoff_ms);
+            net.advance(SimDuration::from_ms(wait));
+        }
+        establish_attempts += 1;
+        ctx = ProxyContext::establish(
+            &mut net,
+            client,
+            proxy.node,
+            eta,
+            config.self_ping_attempts,
+        );
+        if ctx.is_some() {
+            break;
+        }
+    }
+    let Some(ctx) = ctx else {
+        return ProxyOutcome::Failure(UnmeasuredProxy {
+            proxy,
+            failure: MeasureFailure::Unmeasurable,
+            diagnostics: MeasurementDiagnostics {
+                attempts: establish_attempts,
+                retries: establish_attempts - 1,
+                timeouts: establish_attempts,
+                ..Default::default()
+            },
+        });
+    };
+    let prober = ProxyProber {
+        ctx,
+        attempts: config.attempts_per_landmark,
+    };
+    let mut scheduler = ProbeScheduler::new(
+        prober,
+        reliability.retry,
+        config.seed ^ 0xba0ff ^ u64::from(proxy.node),
+    );
+    let outcome = run_two_phase_reliable(&mut net, &server, &mut scheduler, &mut rng, reliability);
+    drop(server);
+    let mut diagnostics = outcome.diagnostics;
+    diagnostics.attempts += establish_attempts;
+    diagnostics.retries += establish_attempts - 1;
+    let two_phase = match (outcome.status, outcome.result) {
+        (MeasurementStatus::Ok, Some(r)) => r,
+        (MeasurementStatus::InsufficientData, _) => {
+            return ProxyOutcome::Failure(UnmeasuredProxy {
+                proxy,
+                failure: MeasureFailure::InsufficientData,
+                diagnostics,
+            });
+        }
+        _ => {
+            return ProxyOutcome::Failure(UnmeasuredProxy {
+                proxy,
+                failure: MeasureFailure::Unmeasurable,
+                diagnostics,
+            });
+        }
+    };
+
+    let prediction = CbgPlusPlus.locate_cached(&two_phase.observations, mask, cache);
+    let verdict = assess_claim(atlas, &prediction.region, proxy.claimed);
+
+    // Data-center disambiguation (Fig. 15).
+    let dc_country = match by_data_centers(registry, &prediction.region) {
+        Disambiguation::Resolved(c) => Some(c),
+        Disambiguation::Unresolved => None,
+    };
+    let mut refined = verdict.clone();
+    if refined.assessment == Assessment::Uncertain {
+        if let Some(c) = dc_country {
+            refined.assessment = if c == proxy.claimed {
+                Assessment::Credible
+            } else {
+                Assessment::False
+            };
+        }
+    }
+
+    let iclab = IclabChecker::default().check(atlas, proxy.claimed, &two_phase.observations);
+    ProxyOutcome::Record(Box::new(ProxyRecord {
+        continent_guess: two_phase.continent,
+        region_area_km2: prediction.region.area_km2(),
+        centroid: prediction.region.centroid(),
+        observations: two_phase
+            .observations
+            .iter()
+            .map(|o| (o.landmark, o.one_way_ms))
+            .collect(),
+        self_ping_ms: scheduler.inner.ctx.self_ping_ms,
+        iclab,
+        verdict,
+        refined,
+        dc_country,
+        diagnostics,
+        proxy,
+    }))
 }
 
 /// One study's reliability ledger: how many proxies got a verdict, how
@@ -535,6 +612,29 @@ mod tests {
         let rendered = crate::report::render_reliability(res);
         assert!(rendered.contains("measured"));
         assert!(rendered.contains("phase 1"));
+    }
+
+    #[test]
+    fn disk_cache_is_actually_shared_across_proxies() {
+        let g = results().lock().unwrap();
+        let (study, res) = &*g;
+        assert!(res.threads >= 1);
+        // Every measured proxy queries disks for the same constellation,
+        // so once the fleet is larger than a handful the cache must be
+        // doing real work.
+        assert!(
+            res.cache.hits > res.cache.misses,
+            "cache ineffective: {} hits / {} misses over {} proxies",
+            res.cache.hits,
+            res.cache.misses,
+            study.providers.proxies.len()
+        );
+        // Each miss rasterizes at most one new entry (two workers racing
+        // on the same key both count a miss but insert once).
+        assert!(res.cache.entries as u64 <= res.cache.misses);
+        let rendered = crate::report::render_perf_telemetry(res);
+        assert!(rendered.contains("disk cache"));
+        assert!(rendered.contains("threads"));
     }
 
     #[test]

@@ -77,6 +77,26 @@ pub fn render_reliability(results: &StudyResults) -> String {
     out
 }
 
+/// Performance telemetry: worker count and landmark disk-cache
+/// effectiveness. **Not deterministic across thread counts** — under
+/// more than one worker, two threads can race to rasterize the same
+/// disk, shifting the hit/miss split — so the CI determinism gate must
+/// never include this block in the bytes it diffs.
+pub fn render_perf_telemetry(results: &StudyResults) -> String {
+    let mut out = String::new();
+    let c = &results.cache;
+    let _ = writeln!(out, "threads: {}", results.threads);
+    let _ = writeln!(
+        out,
+        "disk cache: {} hits / {} misses ({:.1} % hit rate), {} cached disks",
+        c.hits,
+        c.misses,
+        c.hit_rate() * 100.0,
+        c.entries
+    );
+    out
+}
+
 /// The Fig. 21 comparison table: per provider, agreement of CBG++
 /// (generous/strict), ICLab, and the five IP databases with the
 /// provider's claims.

@@ -36,6 +36,73 @@ fn different_seeds_differ() {
     assert_ne!(digest(77), digest(78));
 }
 
+/// A full fingerprint of a study's deterministic output: every record
+/// field that ends up in a report (float bits included, so "close" is
+/// not good enough), every failure, and the η estimate. Excludes only
+/// the disk-cache hit/miss telemetry, which is scheduling-dependent by
+/// design.
+fn full_fingerprint(results: &proxy_verifier::vpnstudy::audit::StudyResults) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if let Some(eta) = &results.eta {
+        let _ = writeln!(out, "eta {:x} {:x} {}", eta.eta().to_bits(), eta.r_squared.to_bits(), eta.samples);
+    }
+    for r in &results.records {
+        let _ = writeln!(
+            out,
+            "rec {} {} {} {:?} {:?} {:?} {:?} {:x} {:?} {:x} {} {} {} {}",
+            r.proxy.node,
+            r.proxy.claimed,
+            r.proxy.true_country,
+            r.verdict.assessment,
+            r.verdict.continent,
+            r.refined.assessment,
+            r.dc_country,
+            r.region_area_km2.to_bits(),
+            r.centroid.map(|c| (c.lat().to_bits(), c.lon().to_bits())),
+            r.self_ping_ms.to_bits(),
+            r.observations.len(),
+            r.diagnostics.attempts,
+            r.diagnostics.retries,
+            r.diagnostics.timeouts,
+        );
+        for (lm, ms) in &r.observations {
+            let _ = writeln!(out, "  obs {:x} {:x} {:x}", lm.lat().to_bits(), lm.lon().to_bits(), ms.to_bits());
+        }
+    }
+    for f in &results.failures {
+        let _ = writeln!(
+            out,
+            "fail {} {:?} {} {} {}",
+            f.proxy.node, f.failure, f.diagnostics.attempts, f.diagnostics.retries, f.diagnostics.timeouts
+        );
+    }
+    out
+}
+
+/// The tentpole guarantee of the parallel audit engine: fanning the
+/// proxies out across worker threads must not change a single bit of
+/// any deterministic output — records, failures, observations, η —
+/// relative to the serial (1-thread) path.
+#[test]
+fn thread_count_never_changes_the_study() {
+    let run = |threads: usize| {
+        let mut study = Study::build(StudyConfig::small(77));
+        let results = study.run_with_threads(threads);
+        assert_eq!(results.threads, threads.max(1));
+        full_fingerprint(&results)
+    };
+    let serial = run(1);
+    assert!(!serial.is_empty(), "study produced no output at all");
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            serial,
+            run(threads),
+            "study output diverged at {threads} threads"
+        );
+    }
+}
+
 /// End-to-end check on the in-repo RNG substrate: two fully independent
 /// studies built from the same `StudyConfig` seed must agree on every
 /// audit verdict count, both for the single-round and the refined pass.

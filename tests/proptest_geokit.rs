@@ -8,6 +8,63 @@ fn arb_point() -> impl Strategy<Value = GeoPoint> {
     (-89.0f64..89.0, -180.0f64..180.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
 }
 
+/// The three cap-membership enumerations that must agree cell-for-cell:
+/// per-row *runs*, per-cell raster iteration, and the brute-force scan
+/// of every grid cell against the cap's own membership test. (The run
+/// path is what the multilateration engine trusts for word-level region
+/// fills, so any divergence here is a correctness bug, not noise.)
+fn runs_cells_bruteforce_agree(grid: &GeoGrid, cap: &SphericalCap) -> bool {
+    let mut from_runs = Vec::new();
+    grid.for_each_run_in_cap(cap, |row, cols| {
+        for col in cols {
+            from_runs.push(row * grid.cols() + col);
+        }
+    });
+    let mut from_cells = Vec::new();
+    grid.for_each_cell_in_cap(cap, |cell| from_cells.push(cell));
+    let brute: Vec<u32> = grid
+        .all_cells()
+        .filter(|&c| cap.contains(&grid.center(c)))
+        .collect();
+    let mut sorted_runs = from_runs.clone();
+    sorted_runs.sort_unstable();
+    sorted_runs.dedup();
+    // Runs must already be duplicate-free; all three sets must match.
+    sorted_runs.len() == from_runs.len() && sorted_runs == brute && {
+        let mut cells = from_cells;
+        cells.sort_unstable();
+        cells == brute
+    }
+}
+
+/// The adversarial cap geometries the random strategy rarely hits:
+/// polar caps, antimeridian-straddling caps, whole-earth and near-empty
+/// caps, on both a coarse and a finer grid.
+#[test]
+fn cap_runs_edge_cases_match_bruteforce() {
+    let cases = [
+        (GeoPoint::new(89.9, 0.0), 500.0),       // around the north pole
+        (GeoPoint::new(-89.9, 123.0), 2_000.0),  // around the south pole
+        (GeoPoint::new(60.0, 0.0), 4_000.0),     // swallows the pole
+        (GeoPoint::new(10.0, 179.5), 1_500.0),   // straddles the antimeridian
+        (GeoPoint::new(-30.0, -179.9), 3_000.0), // straddles it the other way
+        (GeoPoint::new(0.0, 180.0), 800.0),      // centred on it
+        (GeoPoint::new(45.0, 45.0), 25_000.0),   // whole earth (r > πR)
+        (GeoPoint::new(0.0, 0.0), 1.0),          // smaller than one cell
+        (GeoPoint::new(52.4, 13.1), 0.0),        // degenerate point cap
+    ];
+    for grid in [GeoGrid::new(2.0), GeoGrid::new(1.0)] {
+        for (center, radius_km) in cases {
+            let cap = SphericalCap::new(center, radius_km);
+            assert!(
+                runs_cells_bruteforce_agree(&grid, &cap),
+                "cap at {center} r={radius_km} km disagrees on the {}° grid",
+                grid.resolution_deg()
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -65,6 +122,15 @@ proptest! {
         for cell in inter.cells().take(64) {
             prop_assert!(ca.contains_cell(cell) && cb.contains_cell(cell));
         }
+    }
+
+    #[test]
+    fn cap_runs_equal_cells_equal_bruteforce(
+        a in arb_point(),
+        r in 50.0f64..12_000.0,
+    ) {
+        let grid = GeoGrid::new(2.0);
+        prop_assert!(runs_cells_bruteforce_agree(&grid, &SphericalCap::new(a, r)));
     }
 
     #[test]
