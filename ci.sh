@@ -9,20 +9,29 @@ export CARGO_NET_OFFLINE=true
 cargo build --release --offline
 cargo test -q --offline
 
+# Lint gate: the workspace must be clippy-clean, warnings as errors.
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# Every example must at least build; quickstart must actually run.
+cargo build --release --examples --offline
+cargo run -q --release --offline --example quickstart > /dev/null
+
 # Reliability smoke: the audit under probe loss + landmark outages must
 # stay deterministic and account for every proxy.
 cargo test -q --offline --test fault_campaign
 
-# Parallelism determinism gate: the rendered study report must be
-# byte-identical whether the audit fans out over 1 worker or 4. Any
-# diff means a proxy's result depended on scheduling — a bug, not noise.
+# Parallelism determinism gate: the rendered study report — including
+# the observability block and the full JSONL event trace — must be
+# byte-identical whether the audit fans out over 1 worker or 8. Any
+# diff means a proxy's result (or its recorded trace) depended on
+# scheduling — a bug, not noise.
 report_dir="$(mktemp -d)"
 trap 'rm -rf "$report_dir"' EXIT
 PV_THREADS=1 cargo run -q --release --offline -p bench --bin determinism_report \
     > "$report_dir/report-1thread.txt"
-PV_THREADS=4 cargo run -q --release --offline -p bench --bin determinism_report \
-    > "$report_dir/report-4thread.txt"
-cmp "$report_dir/report-1thread.txt" "$report_dir/report-4thread.txt" || {
-    echo "FAIL: study report differs between PV_THREADS=1 and PV_THREADS=4" >&2
+PV_THREADS=8 cargo run -q --release --offline -p bench --bin determinism_report \
+    > "$report_dir/report-8thread.txt"
+cmp "$report_dir/report-1thread.txt" "$report_dir/report-8thread.txt" || {
+    echo "FAIL: study report differs between PV_THREADS=1 and PV_THREADS=8" >&2
     exit 1
 }

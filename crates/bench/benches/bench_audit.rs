@@ -1,5 +1,10 @@
 //! End-to-end audit cost: locating one proxy (tunnel establishment,
 //! two-phase measurement, CBG++, assessment) on a prebuilt small world.
+//!
+//! Two variants: the bare pipeline (comparable with the committed
+//! baseline in `bench_output/`), and the same pipeline with an
+//! `obs::Recorder` at the audit's default `Events` level installed —
+//! the observability layer's overhead budget is <2 % between them.
 
 use bench::{build_study_context, Scale};
 use bench::harness::Criterion;
@@ -49,6 +54,41 @@ fn bench_single_proxy(c: &mut Criterion) {
             black_box(assess_claim(&atlas, &prediction.region, proxy.claimed))
         })
     });
+
+    // Same pipeline, recorder on at the audit's default level: netsim
+    // probe events, twophase transitions, and CBG++ stage events all
+    // recorded.
+    let recorder = obs::Recorder::new(obs::Level::Events);
+    ctx.study.world.network_mut().set_recorder(recorder.clone());
+    group.bench_function("same, with Events recorder", |b| {
+        b.iter(|| {
+            let server = atlas::LandmarkServer::new(
+                &ctx.study.constellation,
+                &ctx.study.calibration,
+                &atlas,
+            );
+            let proxy_ctx = ProxyContext::establish(
+                ctx.study.world.network_mut(),
+                client,
+                proxy.node,
+                0.5,
+                4,
+            )
+            .expect("tunnel up");
+            let mut prober = ProxyProber {
+                ctx: proxy_ctx,
+                attempts: 2,
+            };
+            let mut rng = StdRng::seed_from_u64(7);
+            let two_phase =
+                run_two_phase(ctx.study.world.network_mut(), &server, &mut prober, &mut rng)
+                    .expect("measured");
+            let prediction =
+                CbgPlusPlus.locate_traced(&two_phase.observations, &mask, None, &recorder);
+            black_box(assess_claim(&atlas, &prediction.region, proxy.claimed))
+        })
+    });
+    ctx.study.world.network_mut().set_recorder(obs::Recorder::off());
     group.finish();
 }
 

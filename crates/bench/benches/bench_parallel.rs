@@ -75,8 +75,9 @@ fn measure(scale: Scale, threads: usize, runs: usize) -> Measurement {
         let secs = t0.elapsed().as_secs_f64();
         best_secs = best_secs.min(secs);
         fp = fingerprint(&results);
-        hits = results.cache.hits;
-        misses = results.cache.misses;
+        let cache = results.cache_stats();
+        hits = cache.hits;
+        misses = cache.misses;
     }
     Measurement {
         threads,

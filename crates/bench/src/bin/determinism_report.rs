@@ -1,12 +1,15 @@
 //! Render the audit's deterministic report blocks for the CI
 //! determinism gate.
 //!
-//! `ci.sh` runs this twice — under `PV_THREADS=1` and `PV_THREADS=4` —
+//! `ci.sh` runs this twice — under `PV_THREADS=1` and `PV_THREADS=8` —
 //! and fails on any byte difference, proving the parallel audit engine
 //! changes nothing the study reports. Everything printed here must
 //! therefore be a pure function of the study seed: the perf telemetry
 //! block (`render_perf_telemetry`) is deliberately absent, because disk
-//! cache hit/miss counts depend on worker scheduling.
+//! cache hit/miss counts depend on worker scheduling. The observability
+//! block and the full JSONL event trace *are* included — per-proxy
+//! event buffers are merged in proxy order, so they too must be
+//! byte-identical at any thread count.
 
 use vpnstudy::audit::Study;
 use vpnstudy::report;
@@ -21,4 +24,8 @@ fn main() {
     print!("{}", report::render_reliability(&results));
     println!("---");
     print!("{}", report::render_fig21(&study, &results));
+    println!("---");
+    print!("{}", report::render_observability(&results));
+    println!("---");
+    print!("{}", results.trace_jsonl());
 }

@@ -36,6 +36,7 @@ const FIGURES: &[(&str, &str)] = &[
     ("headline", "the paper's headline numbers"),
     ("ablation", "CBG++ design-choice ablations (not a paper figure)"),
     ("faults", "fault sweep: verdicts under loss + outages (not a paper figure)"),
+    ("trace", "observability trace: probe outcomes, retries, region funnel (not a paper figure)"),
 ];
 
 fn main() {
@@ -135,6 +136,7 @@ fn main() {
             "headline" => figures::headline_numbers(study_ctx(&mut study, scale)),
             "ablation" => figures::ablation_cbgpp(crowd_ctx(&mut crowd, scale)),
             "faults" => figures::fault_sweep(scale),
+            "trace" => figures::trace_observability(study_ctx(&mut study, scale)),
             _ => unreachable!("validated above"),
         };
         match &out_dir {

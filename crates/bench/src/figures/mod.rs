@@ -11,6 +11,7 @@ pub mod faultsweep;
 pub mod market;
 pub mod study;
 pub mod tools;
+pub mod trace;
 pub mod validation;
 
 pub use ablation::{ablation_cbgpp, fig3_fig8_maps};
@@ -23,4 +24,5 @@ pub use study::{
     fig22_continent_confusion, fig23_country_confusion, headline_numbers,
 };
 pub use tools::{fig4_tools_linux, fig5_fig6_tools_windows, fig7_tool_semantics};
+pub use trace::trace_observability;
 pub use validation::{fig11_effectiveness, fig9_algorithm_comparison};

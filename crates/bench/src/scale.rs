@@ -41,6 +41,7 @@ impl Scale {
                 crowd_volunteers: 15,
                 crowd_workers: 55,
                 reliability: geoloc::ReliabilityConfig::default(),
+                obs_level: obs::Level::Events,
             },
             Scale::Paper => StudyConfig::paper(),
         }

@@ -49,7 +49,20 @@ impl CbgPlusPlus {
         mask: &Region,
         cache: &DiskCache,
     ) -> Prediction {
-        CbgPlusPlusVariant::default().locate_impl(observations, mask, Some(cache))
+        CbgPlusPlusVariant::default().locate_impl(observations, mask, Some(cache), None)
+    }
+
+    /// [`CbgPlusPlus::locate_cached`] that also narrates its stage funnel
+    /// (baseline region, bestline filter, subset search, empty-region
+    /// causes) through an [`obs::Recorder`].
+    pub fn locate_traced(
+        &self,
+        observations: &[Observation],
+        mask: &Region,
+        cache: Option<&DiskCache>,
+        rec: &obs::Recorder,
+    ) -> Prediction {
+        CbgPlusPlusVariant::default().locate_impl(observations, mask, cache, Some(rec))
     }
 }
 
@@ -84,7 +97,7 @@ impl Geolocator for CbgPlusPlusVariant {
     }
 
     fn locate(&self, observations: &[Observation], mask: &Region) -> Prediction {
-        self.locate_impl(observations, mask, None)
+        self.locate_impl(observations, mask, None, None)
     }
 }
 
@@ -97,7 +110,7 @@ impl CbgPlusPlusVariant {
         mask: &Region,
         cache: &DiskCache,
     ) -> Prediction {
-        self.locate_impl(observations, mask, Some(cache))
+        self.locate_impl(observations, mask, Some(cache), None)
     }
 
     fn locate_impl(
@@ -105,6 +118,7 @@ impl CbgPlusPlusVariant {
         observations: &[Observation],
         mask: &Region,
         cache: Option<&DiskCache>,
+        rec: Option<&obs::Recorder>,
     ) -> Prediction {
         let subset = |constraints: &[RingConstraint], m: &Region| match cache {
             Some(c) => max_consistent_subset_cached(constraints, m, c),
@@ -125,8 +139,33 @@ impl CbgPlusPlusVariant {
                     .inflated(slack)
                 })
                 .collect();
-            search_mask = subset(&baseline, mask).region;
+            let base = subset(&baseline, mask);
+            search_mask = base.region;
+            if let Some(rec) = rec {
+                rec.record("alg.baseline_cells", u64::from(search_mask.cell_count()));
+                if rec.events_enabled() {
+                    rec.event(
+                        "cbgpp",
+                        "baseline",
+                        vec![
+                            ("disks", baseline.len().into()),
+                            ("satisfied", base.satisfied.into()),
+                            ("cells", search_mask.cell_count().into()),
+                        ],
+                    );
+                }
+            }
             if search_mask.is_empty() {
+                if let Some(rec) = rec {
+                    rec.count("alg.empty_region", 1);
+                    if rec.events_enabled() {
+                        rec.event(
+                            "cbgpp",
+                            "empty_region",
+                            vec![("stage", "baseline".into())],
+                        );
+                    }
+                }
                 return Prediction {
                     region: search_mask,
                 };
@@ -153,13 +192,63 @@ impl CbgPlusPlusVariant {
                 None => true,
             })
             .collect();
+        if let Some(rec) = rec {
+            let dropped = observations.len() - bestline.len();
+            rec.count("alg.bestline_dropped", dropped as u64);
+            if rec.events_enabled() {
+                rec.event(
+                    "cbgpp",
+                    "bestline_filter",
+                    vec![
+                        ("input", observations.len().into()),
+                        ("kept", bestline.len().into()),
+                    ],
+                );
+            }
+        }
         if bestline.is_empty() {
+            if let Some(rec) = rec {
+                rec.count("alg.baseline_fallback", 1);
+                if rec.events_enabled() {
+                    rec.event(
+                        "cbgpp",
+                        "baseline_fallback",
+                        vec![("cells", effective_mask.cell_count().into())],
+                    );
+                }
+            }
             return Prediction {
                 region: effective_mask.clone(),
             };
         }
-        let region = subset(&bestline, effective_mask).region;
-        Prediction { region }
+        let result = subset(&bestline, effective_mask);
+        if let Some(rec) = rec {
+            rec.record("alg.region_cells", u64::from(result.region.cell_count()));
+            if result.region.is_empty() {
+                rec.count("alg.empty_region", 1);
+            }
+            if rec.events_enabled() {
+                rec.event(
+                    "cbgpp",
+                    "subset",
+                    vec![
+                        ("satisfied", result.satisfied.into()),
+                        ("total", result.total.into()),
+                        ("cells", result.region.cell_count().into()),
+                    ],
+                );
+                if result.region.is_empty() {
+                    rec.event(
+                        "cbgpp",
+                        "empty_region",
+                        vec![("stage", "bestline".into())],
+                    );
+                }
+            }
+        }
+        Prediction {
+            region: result.region,
+        }
     }
 }
 

@@ -206,6 +206,24 @@ impl<P> ProbeScheduler<P> {
                 self.diagnostics.retries += 1;
                 let wait = self.backoff_ms(attempt - 1);
                 network.advance(SimDuration::from_ms(wait));
+                let rec = network.recorder();
+                if rec.counters_enabled() {
+                    rec.count("rel.retry", 1);
+                    rec.record("rel.backoff_us", (wait * 1_000.0) as u64);
+                    if rec.events_enabled() {
+                        rec.set_now_ns(network.now().as_nanos());
+                        rec.event(
+                            "reliability",
+                            "retry",
+                            vec![
+                                ("landmark", landmark.into()),
+                                ("attempt", attempt.into()),
+                                ("fallback", fallback.into()),
+                                ("backoff_ms", wait.into()),
+                            ],
+                        );
+                    }
+                }
             }
             self.diagnostics.attempts += 1;
             let reading = if fallback {
@@ -217,7 +235,10 @@ impl<P> ProbeScheduler<P> {
                 Some(ms) if ms.is_finite() && ms <= self.policy.timeout_ms => {
                     return Some(ms)
                 }
-                Some(_) => self.diagnostics.corrupt_readings += 1,
+                Some(_) => {
+                    self.diagnostics.corrupt_readings += 1;
+                    network.recorder().count("rel.corrupt_reading", 1);
+                }
                 None => self.diagnostics.timeouts += 1,
             }
         }
@@ -227,19 +248,50 @@ impl<P> ProbeScheduler<P> {
 
 impl<P: RttProber> RttProber for ProbeScheduler<P> {
     fn probe(&mut self, network: &mut Network, landmark: NodeId) -> Option<f64> {
-        if let Some(ms) = self.try_method(network, landmark, false) {
-            self.diagnostics.landmarks_measured += 1;
-            return Some(ms);
-        }
-        if self.policy.method_fallback {
-            if let Some(ms) = self.try_method(network, landmark, true) {
-                self.diagnostics.fallbacks += 1;
+        let attempts_before = self.diagnostics.attempts;
+        let result = (|| {
+            if let Some(ms) = self.try_method(network, landmark, false) {
                 self.diagnostics.landmarks_measured += 1;
                 return Some(ms);
             }
-        }
-        self.diagnostics.dead_landmarks += 1;
-        None
+            if self.policy.method_fallback {
+                if let Some(ms) = self.try_method(network, landmark, true) {
+                    self.diagnostics.fallbacks += 1;
+                    self.diagnostics.landmarks_measured += 1;
+                    let rec = network.recorder();
+                    rec.count("rel.fallback", 1);
+                    if rec.events_enabled() {
+                        rec.set_now_ns(network.now().as_nanos());
+                        rec.event(
+                            "reliability",
+                            "fallback_used",
+                            vec![("landmark", landmark.into()), ("rtt_ms", ms.into())],
+                        );
+                    }
+                    return Some(ms);
+                }
+            }
+            self.diagnostics.dead_landmarks += 1;
+            let rec = network.recorder();
+            rec.count("rel.dead_landmark", 1);
+            if rec.events_enabled() {
+                rec.set_now_ns(network.now().as_nanos());
+                rec.event(
+                    "reliability",
+                    "landmark_dead",
+                    vec![("landmark", landmark.into())],
+                );
+            }
+            None
+        })();
+        // Per-landmark effort: how many attempts this landmark cost,
+        // successful or not — the retry-depth distribution the trace
+        // figure renders.
+        network.recorder().record(
+            "rel.attempts_per_landmark",
+            (self.diagnostics.attempts - attempts_before) as u64,
+        );
+        result
     }
 
     fn probe_fallback(&mut self, network: &mut Network, landmark: NodeId) -> Option<f64> {
@@ -401,6 +453,30 @@ mod tests {
         let fresh = ProbeScheduler::new(Instant, RetryPolicy::default(), 5);
         let (mut a, mut b) = (sched, fresh);
         assert_eq!(a.backoff_ms(0).to_bits(), b.backoff_ms(0).to_bits());
+    }
+
+    #[test]
+    fn scheduler_narrates_retries_and_fallbacks() {
+        let mut network = tiny_network();
+        network.set_recorder(obs::Recorder::new(obs::Level::Events));
+        let scripted = Scripted {
+            fail_first: usize::MAX,
+            calls: HashMap::new(),
+            fallback_answers: true,
+        };
+        let mut sched = ProbeScheduler::new(scripted, RetryPolicy::default(), 5);
+        assert_eq!(sched.probe(&mut network, 0), Some(20.0));
+        let rec = network.recorder();
+        assert_eq!(rec.counter("rel.retry"), 2); // primary budget: 3 attempts
+        assert_eq!(rec.counter("rel.fallback"), 1);
+        assert_eq!(rec.counter("rel.dead_landmark"), 0);
+        let depth = rec.hist("rel.attempts_per_landmark").expect("hist recorded");
+        assert_eq!(depth.count, 1);
+        assert_eq!(depth.sum, 4); // 3 primary + 1 fallback attempt
+        rec.with_events(|evs| {
+            assert!(evs.iter().any(|e| e.name == "retry"));
+            assert!(evs.iter().any(|e| e.name == "fallback_used"));
+        });
     }
 
     #[test]

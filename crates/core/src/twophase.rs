@@ -212,6 +212,15 @@ fn two_phase_inner<P: RttProber, R: Rng + ?Sized>(
     // Phase 1: three anchors per continent; fastest answer wins.
     let phase1 = server.phase1_landmarks();
     let phase1_total = phase1.len();
+    if network.recorder().events_enabled() {
+        let rec = network.recorder();
+        rec.set_now_ns(network.now().as_nanos());
+        rec.event(
+            "twophase",
+            "phase1_start",
+            vec![("anchors", phase1_total.into())],
+        );
+    }
     let mut best: Option<(f64, Continent)> = None;
     let mut phase1_obs: Vec<(usize, f64)> = Vec::new();
     for id in phase1 {
@@ -226,6 +235,27 @@ fn two_phase_inner<P: RttProber, R: Rng + ?Sized>(
     }
     let phase1_responsive = phase1_obs.len();
     let quorum_met = phase1_responsive >= cfg.phase1_quorum.max(1);
+    {
+        let rec = network.recorder();
+        rec.count("tp.phase1_responsive", phase1_responsive as u64);
+        rec.count("tp.phase1_total", phase1_total as u64);
+        if rec.events_enabled() {
+            rec.set_now_ns(network.now().as_nanos());
+            rec.event(
+                "twophase",
+                "phase1_done",
+                vec![
+                    ("responsive", phase1_responsive.into()),
+                    ("total", phase1_total.into()),
+                    ("quorum_met", quorum_met.into()),
+                    (
+                        "continent",
+                        best.map_or("none", |(_, c)| c.name()).into(),
+                    ),
+                ],
+            );
+        }
+    }
 
     let mut observations = Vec::new();
     let mut seen = vec![false; landmarks.len()];
@@ -233,6 +263,15 @@ fn two_phase_inner<P: RttProber, R: Rng + ?Sized>(
     if quorum_met {
         // Trusted continent guess: the original §4.1 procedure.
         let (_, continent) = best.expect("quorum met implies an answer");
+        if network.recorder().events_enabled() {
+            let rec = network.recorder();
+            rec.set_now_ns(network.now().as_nanos());
+            rec.event(
+                "twophase",
+                "phase2_start",
+                vec![("continent", continent.name().into())],
+            );
+        }
         for (id, rtt) in phase1_obs {
             if continent_of(id) == continent {
                 observations.push(make_observation(server, id, rtt));
@@ -247,6 +286,9 @@ fn two_phase_inner<P: RttProber, R: Rng + ?Sized>(
                 observations.push(make_observation(server, id, rtt));
             }
         }
+        network
+            .recorder()
+            .count("tp.observations", observations.len() as u64);
         return InnerOutcome {
             result: Some(TwoPhaseResult {
                 continent,
@@ -272,6 +314,21 @@ fn two_phase_inner<P: RttProber, R: Rng + ?Sized>(
     // none). Degrade loudly — keep whatever phase 1 produced and sweep a
     // phase-2 draw from *every* continent, then take the continent of the
     // fastest responder overall.
+    {
+        let rec = network.recorder();
+        rec.count("tp.quorum_degraded", 1);
+        if rec.events_enabled() {
+            rec.set_now_ns(network.now().as_nanos());
+            rec.event(
+                "twophase",
+                "quorum_degraded",
+                vec![
+                    ("responsive", phase1_responsive.into()),
+                    ("quorum", cfg.phase1_quorum.into()),
+                ],
+            );
+        }
+    }
     for &(id, rtt) in &phase1_obs {
         observations.push(make_observation(server, id, rtt));
         seen[id] = true;
@@ -290,6 +347,9 @@ fn two_phase_inner<P: RttProber, R: Rng + ?Sized>(
             }
         }
     }
+    network
+        .recorder()
+        .count("tp.observations", observations.len() as u64);
     InnerOutcome {
         result: best.map(|(_, continent)| TwoPhaseResult {
             continent,

@@ -79,6 +79,71 @@ pub enum PacketKind {
     TunnelSelfPingDone,
 }
 
+impl PacketKind {
+    /// Short static label for telemetry (one per wire kind).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PacketKind::EchoRequest => "echo",
+            PacketKind::EchoReply => "echo_reply",
+            PacketKind::TimeExceeded { .. } => "time_exceeded",
+            PacketKind::TcpSyn { .. } => "syn",
+            PacketKind::TcpSynAck => "syn_ack",
+            PacketKind::TcpRst => "rst",
+            PacketKind::TunnelConnect { .. } => "tunnel_connect",
+            PacketKind::TunnelConnectDone { .. } => "tunnel_connect_done",
+            PacketKind::TunnelSelfPing => "self_ping",
+            PacketKind::TunnelSelfPingEcho => "self_ping_echo",
+            PacketKind::TunnelSelfPingReply => "self_ping_reply",
+            PacketKind::TunnelSelfPingDone => "self_ping_done",
+        }
+    }
+}
+
+/// Why packets in one engine run were swallowed, by cause. The engine
+/// tallies causes as they happen; the [`Network`](crate::Network) facade
+/// turns the tally into observability counters/events after the run, so
+/// the hot loop never touches a recorder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LossTally {
+    /// Swallowed by a node inside an outage window (forwarding or
+    /// delivery).
+    pub outage: u32,
+    /// Per-node random loss.
+    pub random_drop: u32,
+    /// Per-link loss.
+    pub link_loss: u32,
+    /// Reply rate-limiting at the destination (§4.2).
+    pub rate_limited: u32,
+    /// Silently dropped by the destination's filter policy (ICMP
+    /// filtered, SYN to a filtered port).
+    pub filtered: u32,
+}
+
+impl LossTally {
+    /// Total packets swallowed, all causes.
+    pub fn total(&self) -> u32 {
+        self.outage + self.random_drop + self.link_loss + self.rate_limited + self.filtered
+    }
+
+    /// The most frequent cause's label, or `None` when nothing was lost
+    /// (the probe vanished for a different reason, e.g. an unreachable
+    /// destination).
+    pub fn dominant(&self) -> Option<&'static str> {
+        let causes = [
+            (self.outage, "outage"),
+            (self.rate_limited, "rate_limit"),
+            (self.filtered, "filtered"),
+            (self.link_loss, "link_loss"),
+            (self.random_drop, "drop"),
+        ];
+        causes
+            .iter()
+            .filter(|&&(n, _)| n > 0)
+            .max_by_key(|&&(n, _)| n)
+            .map(|&(_, label)| label)
+    }
+}
+
 /// A packet in flight along a precomputed route.
 #[derive(Debug, Clone)]
 struct Packet {
@@ -168,6 +233,8 @@ pub struct Engine<'a, R: Rng> {
     default_ttl: u32,
     /// When set, every packet arrival is recorded here.
     trace: Option<Vec<TraceEvent>>,
+    /// Loss-cause tally for this run (read by the `Network` facade).
+    losses: LossTally,
 }
 
 impl<'a, R: Rng> Engine<'a, R> {
@@ -193,7 +260,13 @@ impl<'a, R: Rng> Engine<'a, R> {
             next_probe: 0,
             default_ttl: 64,
             trace: None,
+            losses: LossTally::default(),
         }
+    }
+
+    /// Loss causes tallied so far in this run.
+    pub fn losses(&self) -> LossTally {
+        self.losses
     }
 
     /// Enable packet tracing for this run (records every arrival).
@@ -324,9 +397,11 @@ impl<'a, R: Rng> Engine<'a, R> {
 
         // Fault injection: outage at the forwarding node, random loss.
         if self.faults.is_down(here, at) {
+            self.losses.outage += 1;
             return;
         }
         if self.faults.drops_packet(here, self.rng) {
+            self.losses.random_drop += 1;
             return;
         }
 
@@ -345,6 +420,7 @@ impl<'a, R: Rng> Engine<'a, R> {
             .expect("route follows links");
         // Fault injection: independent loss on the traversed link.
         if self.faults.drops_on_link(link, self.rng) {
+            self.losses.link_loss += 1;
             return;
         }
         let extra = self.faults.added_delay_ms(here, self.rng);
@@ -363,6 +439,7 @@ impl<'a, R: Rng> Engine<'a, R> {
         // A node inside an outage window swallows everything addressed
         // to it — no replies, no tunnel forwarding.
         if self.faults.is_down(here, at) {
+            self.losses.outage += 1;
             return;
         }
         // Reply rate-limiting (§4.2): a limited node silently drops
@@ -372,6 +449,7 @@ impl<'a, R: Rng> Engine<'a, R> {
             PacketKind::EchoRequest | PacketKind::TcpSyn { .. }
         ) && self.faults.rate_limited(here, at)
         {
+            self.losses.rate_limited += 1;
             return;
         }
         let stack = SimDuration::from_ms(self.model.endpoint_ms);
@@ -390,7 +468,9 @@ impl<'a, R: Rng> Engine<'a, R> {
         let policy = self.topo.node(here).policy.clone();
         match packet.kind {
             PacketKind::EchoRequest => {
-                if !policy.drop_icmp_echo {
+                if policy.drop_icmp_echo {
+                    self.losses.filtered += 1;
+                } else {
                     self.send(at, packet.probe, here, packet.src, PacketKind::EchoReply);
                 }
             }
@@ -403,7 +483,9 @@ impl<'a, R: Rng> Engine<'a, R> {
                 SynResponse::Rst => {
                     self.send(at, packet.probe, here, packet.src, PacketKind::TcpRst);
                 }
-                SynResponse::Dropped => {}
+                SynResponse::Dropped => {
+                    self.losses.filtered += 1;
+                }
             },
             PacketKind::TunnelConnect { target, port } => {
                 // The proxy opens the onward connection. An adversarial

@@ -9,12 +9,13 @@
 //! `des_and_sampler_agree` test pins the equivalence.
 
 use crate::delay::{DelayModel, PathDelays};
-use crate::engine::{Engine, PacketKind, ProbeOutcome, TraceEvent};
+use crate::engine::{Engine, LossTally, PacketKind, ProbeOutcome, TraceEvent};
 use crate::fault::FaultPlan;
 use crate::routing::Router;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
 use crate::NodeId;
+use obs::Recorder;
 use simrng::rngs::StdRng;
 use simrng::SeedableRng;
 use std::sync::Arc;
@@ -41,6 +42,10 @@ pub struct Network {
     now: SimTime,
     /// How long an unanswered probe occupies the clock.
     probe_timeout: SimDuration,
+    /// Observability sink. Defaults to [`Recorder::off`]; attach one with
+    /// [`Network::set_recorder`]. Everything measured through this handle
+    /// (and the geolocation layers driving it) emits here.
+    obs: Recorder,
 }
 
 impl Network {
@@ -59,6 +64,7 @@ impl Network {
             rng: StdRng::seed_from_u64(seed),
             now: SimTime::ZERO,
             probe_timeout: SimDuration::from_ms(DEFAULT_PROBE_TIMEOUT_MS),
+            obs: Recorder::off(),
         }
     }
 
@@ -82,7 +88,28 @@ impl Network {
             rng: StdRng::seed_from_u64(seed),
             now: self.now,
             probe_timeout: self.probe_timeout,
+            // Detached: the fork starts with no recorder. Workers that
+            // want per-proxy traces attach their own recorder fork and
+            // the audit merges them back in proxy order — sharing the
+            // parent's sink here would interleave events in scheduling
+            // order and break the determinism contract.
+            obs: Recorder::off(),
         }
+    }
+
+    /// Attach an observability recorder. Probes through this handle emit
+    /// `net.*` counters and (at event level) per-probe events timestamped
+    /// on the simulation clock.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.obs = rec;
+    }
+
+    /// The attached recorder (a disabled one by default). Layers driving
+    /// this network (scheduler, two-phase protocol) emit through it so
+    /// their events land in the same per-proxy buffer as the probe
+    /// events.
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
     }
 
     /// The current simulation time.
@@ -148,17 +175,85 @@ impl Network {
         ttl: Option<u32>,
     ) -> Option<(SimDuration, PacketKind)> {
         let start = self.now;
+        let kind_label = kind.label();
+        // For tunneled probes the packet's `dst` is the proxy; the node
+        // actually being measured is the tunnel target. Surface it so
+        // trace consumers can attribute outcomes per landmark.
+        let tunnel_target = match kind {
+            PacketKind::TunnelConnect { target, .. } => Some(target),
+            _ => None,
+        };
         let mut engine = Engine::new(&self.topo, &self.router, &self.model, &self.faults, &mut self.rng);
-        let probe = engine.inject(start, src, dst, kind, ttl)?;
+        let Some(probe) = engine.inject(start, src, dst, kind, ttl) else {
+            self.obs.count("net.probe.unroutable", 1);
+            return None;
+        };
         let outcomes = engine.run();
+        let losses = engine.losses();
+        drop(engine);
+        self.obs.count("net.probe.sent", 1);
+        self.record_losses(&losses);
         match outcomes.into_iter().find(|(p, _)| *p == probe) {
             Some((_, ProbeOutcome::Completed { at, reply })) => {
                 self.now = at;
-                Some((at.since(start), reply))
+                let rtt = at.since(start);
+                if self.obs.counters_enabled() {
+                    self.obs.count("net.probe.completed", 1);
+                    self.obs.record("net.probe.rtt_us", rtt.as_nanos() / 1_000);
+                    if self.obs.events_enabled() {
+                        self.obs.set_now_ns(self.now.as_nanos());
+                        let mut fields = vec![
+                            ("src", src.into()),
+                            ("dst", dst.into()),
+                            ("kind", kind_label.into()),
+                            ("reply", reply.label().into()),
+                            ("rtt_ns", rtt.as_nanos().into()),
+                        ];
+                        if let Some(t) = tunnel_target {
+                            fields.push(("target", t.into()));
+                        }
+                        self.obs.event("netsim", "probe", fields);
+                    }
+                }
+                Some((rtt, reply))
             }
             _ => {
                 self.now = start + self.probe_timeout;
+                if self.obs.counters_enabled() {
+                    self.obs.count("net.probe.timeout", 1);
+                    if self.obs.events_enabled() {
+                        self.obs.set_now_ns(self.now.as_nanos());
+                        let mut fields = vec![
+                            ("src", src.into()),
+                            ("dst", dst.into()),
+                            ("kind", kind_label.into()),
+                            ("cause", losses.dominant().unwrap_or("unanswered").into()),
+                        ];
+                        if let Some(t) = tunnel_target {
+                            fields.push(("target", t.into()));
+                        }
+                        self.obs.event("netsim", "probe_timeout", fields);
+                    }
+                }
                 None
+            }
+        }
+    }
+
+    /// Fold one engine run's loss tally into the `net.loss.*` counters.
+    fn record_losses(&self, t: &LossTally) {
+        if t.total() == 0 || !self.obs.counters_enabled() {
+            return;
+        }
+        for (n, name) in [
+            (t.outage, "net.loss.outage"),
+            (t.random_drop, "net.loss.drop"),
+            (t.link_loss, "net.loss.link"),
+            (t.rate_limited, "net.loss.rate_limit"),
+            (t.filtered, "net.loss.filtered"),
+        ] {
+            if n > 0 {
+                self.obs.count(name, u64::from(n));
             }
         }
     }
@@ -637,6 +732,45 @@ mod tests {
             fork.tcp_connect_rtt(client, lm, 80).is_some(),
             "fork must keep its copy-on-write view of the world"
         );
+    }
+
+    #[test]
+    fn recorder_sees_probe_outcomes_and_loss_causes() {
+        let (mut net, client, _, lm) = net();
+        net.set_recorder(obs::Recorder::new(obs::Level::Events));
+        assert!(net.tcp_connect_rtt(client, lm, 80).is_some());
+        // Filter the port: the SYN is silently dropped at the landmark.
+        net.topology_mut().node_mut(lm).policy.filtered_tcp_ports = vec![80];
+        assert!(net.tcp_connect_rtt(client, lm, 80).is_none());
+        let rec = net.recorder();
+        assert_eq!(rec.counter("net.probe.sent"), 2);
+        assert_eq!(rec.counter("net.probe.completed"), 1);
+        assert_eq!(rec.counter("net.probe.timeout"), 1);
+        assert_eq!(rec.counter("net.loss.filtered"), 1);
+        assert_eq!(rec.events_len(), 2);
+        rec.with_events(|evs| {
+            assert_eq!(evs[0].name, "probe");
+            assert!(evs[0].field_u64("rtt_ns").unwrap() > 0);
+            assert_eq!(evs[1].name, "probe_timeout");
+            assert_eq!(evs[1].field_str("cause"), Some("filtered"));
+            // Timestamps ride the simulation clock.
+            assert_eq!(evs[1].t_ns, net.now().as_nanos());
+        });
+        // Forks are detached: probing a fork leaves the parent's trace
+        // untouched.
+        let before = net.recorder().events_len();
+        let mut f = net.fork(5);
+        f.topology_mut().node_mut(lm).policy.filtered_tcp_ports = vec![];
+        f.tcp_connect_rtt(client, lm, 80);
+        assert_eq!(net.recorder().events_len(), before);
+    }
+
+    #[test]
+    fn recorder_off_by_default_costs_nothing_visible() {
+        let (mut net, client, _, lm) = net();
+        assert!(net.tcp_connect_rtt(client, lm, 80).is_some());
+        assert_eq!(net.recorder().counter("net.probe.sent"), 0);
+        assert_eq!(net.recorder().events_len(), 0);
     }
 
     #[test]

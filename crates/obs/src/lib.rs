@@ -1,0 +1,765 @@
+#![warn(missing_docs)]
+
+//! # obs — deterministic observability for the audit pipeline
+//!
+//! Every layer of the system — the packet simulator, the reliability
+//! scheduler, the two-phase measurement engine, the geolocation
+//! algorithms, and the study driver — explains itself through one
+//! [`Recorder`] handle instead of per-subsystem counters bolted onto
+//! result structs. The design contract is **determinism**: everything a
+//! recorder collects on the deterministic side is a pure function of the
+//! computation it observed, never of scheduling, so traces and rendered
+//! summaries can be byte-diffed across thread counts in CI.
+//!
+//! Two strictly separated compartments:
+//!
+//! * **Deterministic** — structured [`Event`]s timestamped on the
+//!   *simulation* clock, monotonic counters, and power-of-two
+//!   [`Hist`]ograms. These participate in the JSONL trace export
+//!   ([`Recorder::events_jsonl`]) and the rendered observability report,
+//!   both of which CI byte-diffs across `PV_THREADS` values.
+//! * **Wall-clock** — [`Span`] timings (`std::time::Instant`) and
+//!   scheduling-dependent tallies ([`Recorder::wall_count`], e.g. a
+//!   shared cache's hit/miss split under racing workers). These are
+//!   real performance telemetry, rendered in their own section and
+//!   **never** included in determinism diffs.
+//!
+//! ## Fork/merge rule
+//!
+//! A recorder handle is a shared sink: cloning it gives another handle
+//! on the *same* buffers. Parallel work must not interleave event
+//! streams nondeterministically, so a worker takes a detached child via
+//! [`Recorder::fork`], records into it worker-locally, and the
+//! coordinator folds the children back with [`Recorder::absorb`] **in a
+//! scheduling-independent order** (the audit merges per-proxy recorders
+//! in proxy order). Counters and histograms are commutative merges;
+//! events are concatenated in absorb order — which is why absorb order
+//! must be deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// How much the recorder keeps. Levels are cumulative: `Events` implies
+/// `Counters`. Wall-clock spans and wall counters are recorded at any
+/// level except `Off`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Level {
+    /// Record nothing at all.
+    Off,
+    /// Counters, histograms, and wall-clock telemetry only.
+    Counters,
+    /// Everything: structured events plus all of the above (the
+    /// default).
+    #[default]
+    Events,
+}
+
+/// One structured field value. Strings are `&'static str` by design:
+/// event emission sits on measurement hot paths, and every name the
+/// pipeline needs (packet kinds, loss causes, algorithm stages) is known
+/// at compile time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (formatted by shortest round-trip, so identical
+    /// bits render identically).
+    F64(f64),
+    /// Static string.
+    Str(&'static str),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    fn write_json(&self, out: &mut String) {
+        match *self {
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) if v.is_finite() => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) => {
+                let _ = write!(out, "\"{v}\"");
+            }
+            Value::Str(s) => {
+                let _ = write!(out, "\"{s}\"");
+            }
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+impl From<&'static str> for Value {
+    fn from(v: &'static str) -> Value {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+/// One structured event on the simulation clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Simulation time of the event, nanoseconds.
+    pub t_ns: u64,
+    /// Subsystem that emitted it (`"netsim"`, `"reliability"`,
+    /// `"twophase"`, `"algo"`, `"audit"`, …).
+    pub target: &'static str,
+    /// Event name within the target.
+    pub name: &'static str,
+    /// Ordered structured fields.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// The value of field `key`, if present.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Field `key` as a `u64`, if present and unsigned.
+    pub fn field_u64(&self, key: &str) -> Option<u64> {
+        match self.field(key) {
+            Some(&Value::U64(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Field `key` as an `f64`, if present and floating.
+    pub fn field_f64(&self, key: &str) -> Option<f64> {
+        match self.field(key) {
+            Some(&Value::F64(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Field `key` as a static string, if present and a string.
+    pub fn field_str(&self, key: &str) -> Option<&'static str> {
+        match self.field(key) {
+            Some(&Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn write_jsonl(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"t_ns\":{},\"ev\":\"{}.{}\"",
+            self.t_ns, self.target, self.name
+        );
+        for (k, v) in &self.fields {
+            let _ = write!(out, ",\"{k}\":");
+            v.write_json(out);
+        }
+        out.push_str("}\n");
+    }
+}
+
+/// A power-of-two histogram of `u64` samples: bucket `i` holds values
+/// whose bit width is `i` (bucket 0 is the value zero, bucket 1 is 1,
+/// bucket 2 is 2–3, bucket 3 is 4–7, …). Coarse, allocation-light, and
+/// merges commutatively — exactly what a deterministic cross-thread
+/// aggregate needs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Hist {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Sparse bucket table: bit width → sample count.
+    pub buckets: BTreeMap<u32, u64>,
+}
+
+impl Hist {
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        *self.buckets.entry(64 - v.leading_zeros()).or_insert(0) += 1;
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Hist) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        for (&b, &n) in &other.buckets {
+            *self.buckets.entry(b).or_insert(0) += n;
+        }
+    }
+
+    /// One-line summary: `count  mean  min..max  [bucket histogram]`.
+    pub fn render_line(&self) -> String {
+        let mut out = format!(
+            "n={} mean={:.2} min={} max={}  |",
+            self.count,
+            self.mean(),
+            self.min,
+            self.max
+        );
+        for (&b, &n) in &self.buckets {
+            let lo = if b == 0 { 0u64 } else { 1u64 << (b - 1) };
+            let _ = write!(out, " {lo}:{n}");
+        }
+        out
+    }
+}
+
+/// Accumulated wall-clock timing for one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WallStat {
+    /// Completed spans.
+    pub count: u64,
+    /// Summed wall time, nanoseconds.
+    pub total_ns: u128,
+}
+
+impl WallStat {
+    /// Mean span duration, milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64 / 1e6
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Buffers {
+    now_ns: u64,
+    events: Vec<Event>,
+    counters: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Hist>,
+    wall_spans: BTreeMap<&'static str, WallStat>,
+    wall_counters: BTreeMap<&'static str, u64>,
+}
+
+/// The shared observability sink.
+///
+/// Cloning a `Recorder` yields another handle on the same buffers;
+/// [`fork`](Recorder::fork) yields a detached child for worker-local
+/// recording (see the module docs for the fork/merge rule). All methods
+/// take `&self`; the recorder is `Send + Sync`.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    level: Level,
+    inner: Arc<Mutex<Buffers>>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new(Level::default())
+    }
+}
+
+impl Recorder {
+    /// A fresh recorder at `level`.
+    pub fn new(level: Level) -> Recorder {
+        Recorder {
+            level,
+            inner: Arc::new(Mutex::new(Buffers::default())),
+        }
+    }
+
+    /// A recorder that keeps nothing (every emission is a level check
+    /// and an immediate return).
+    pub fn off() -> Recorder {
+        Recorder::new(Level::Off)
+    }
+
+    /// The recording level.
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    /// True when structured events are kept.
+    pub fn events_enabled(&self) -> bool {
+        self.level >= Level::Events
+    }
+
+    /// True when counters and histograms are kept.
+    pub fn counters_enabled(&self) -> bool {
+        self.level >= Level::Counters
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Buffers> {
+        self.inner.lock().expect("recorder poisoned")
+    }
+
+    /// A detached child at the same level, inheriting the current sim
+    /// clock. Recorded into worker-locally, then folded back with
+    /// [`absorb`](Recorder::absorb).
+    pub fn fork(&self) -> Recorder {
+        let child = Recorder::new(self.level);
+        child.lock().now_ns = self.lock().now_ns;
+        child
+    }
+
+    /// Fold a forked child's buffers into this recorder: events are
+    /// appended in the child's order, counters and histograms merge
+    /// additively, wall telemetry sums. Call in a deterministic order
+    /// (the caller's item order, never completion order) to keep the
+    /// merged event stream scheduling-independent.
+    pub fn absorb(&self, child: &Recorder) {
+        if self.level == Level::Off {
+            return;
+        }
+        // Take the child's buffers out first so the two locks are never
+        // held at once.
+        let taken = std::mem::take(&mut *child.lock());
+        let mut inner = self.lock();
+        inner.events.extend(taken.events);
+        for (k, v) in taken.counters {
+            *inner.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, h) in taken.hists {
+            inner.hists.entry(k).or_default().merge(&h);
+        }
+        for (k, w) in taken.wall_spans {
+            let e = inner.wall_spans.entry(k).or_default();
+            e.count += w.count;
+            e.total_ns += w.total_ns;
+        }
+        for (k, v) in taken.wall_counters {
+            *inner.wall_counters.entry(k).or_insert(0) += v;
+        }
+        inner.now_ns = inner.now_ns.max(taken.now_ns);
+    }
+
+    // --- deterministic side ------------------------------------------------
+
+    /// Advance the recorder's notion of simulation time. Emitters that
+    /// know the clock (the network facade) call this; emitters that
+    /// don't (pure algorithms) timestamp with the last known value.
+    pub fn set_now_ns(&self, t_ns: u64) {
+        if self.level == Level::Off {
+            return;
+        }
+        self.lock().now_ns = t_ns;
+    }
+
+    /// The recorder's current simulation time, nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.lock().now_ns
+    }
+
+    /// Emit a structured event timestamped with the last known sim time.
+    pub fn event(&self, target: &'static str, name: &'static str, fields: Vec<(&'static str, Value)>) {
+        if !self.events_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        let t_ns = inner.now_ns;
+        inner.events.push(Event {
+            t_ns,
+            target,
+            name,
+            fields,
+        });
+    }
+
+    /// Emit a structured event at an explicit sim time, advancing the
+    /// recorder's clock to it.
+    pub fn event_at(
+        &self,
+        t_ns: u64,
+        target: &'static str,
+        name: &'static str,
+        fields: Vec<(&'static str, Value)>,
+    ) {
+        if !self.events_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.now_ns = inner.now_ns.max(t_ns);
+        inner.events.push(Event {
+            t_ns,
+            target,
+            name,
+            fields,
+        });
+    }
+
+    /// Add `n` to the deterministic counter `name`.
+    pub fn count(&self, name: &'static str, n: u64) {
+        if !self.counters_enabled() {
+            return;
+        }
+        *self.lock().counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Record one sample into the deterministic histogram `name`.
+    pub fn record(&self, name: &'static str, v: u64) {
+        if !self.counters_enabled() {
+            return;
+        }
+        self.lock().hists.entry(name).or_default().record(v);
+    }
+
+    /// The deterministic counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of all deterministic counters, sorted by name.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        self.lock().counters.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// Snapshot of the deterministic histogram `name`, if recorded.
+    pub fn hist(&self, name: &str) -> Option<Hist> {
+        self.lock().hists.get(name).cloned()
+    }
+
+    /// Snapshot of all deterministic histograms, sorted by name.
+    pub fn hists(&self) -> Vec<(&'static str, Hist)> {
+        self.lock()
+            .hists
+            .iter()
+            .map(|(&k, h)| (k, h.clone()))
+            .collect()
+    }
+
+    /// Number of events currently buffered.
+    pub fn events_len(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// Run `f` over the buffered event stream without cloning it.
+    pub fn with_events<R>(&self, f: impl FnOnce(&[Event]) -> R) -> R {
+        f(&self.lock().events)
+    }
+
+    /// The deterministic trace: one JSON object per event, in recorded
+    /// order. Byte-identical across thread counts when the fork/merge
+    /// rule is followed.
+    pub fn events_jsonl(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::with_capacity(inner.events.len() * 96);
+        for e in &inner.events {
+            e.write_jsonl(&mut out);
+        }
+        out
+    }
+
+    /// Render the deterministic side (counters, then histograms) as an
+    /// aligned text block. Excludes events (see
+    /// [`events_jsonl`](Recorder::events_jsonl)) and all wall-clock
+    /// telemetry.
+    pub fn render_deterministic(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        for (k, v) in &inner.counters {
+            let _ = writeln!(out, "{k:<34} {v:>10}");
+        }
+        for (k, h) in &inner.hists {
+            let _ = writeln!(out, "{k:<34} {}", h.render_line());
+        }
+        out
+    }
+
+    // --- wall-clock side ---------------------------------------------------
+
+    /// Start timing a wall-clock span; the elapsed time is recorded when
+    /// the returned guard drops. Wall spans are performance telemetry:
+    /// they never enter the deterministic trace or its diffs.
+    pub fn span(&self, name: &'static str) -> Span {
+        if self.level == Level::Off {
+            return Span { sink: None };
+        }
+        Span {
+            sink: Some((Arc::clone(&self.inner), name, Instant::now())),
+        }
+    }
+
+    /// Add `n` to the wall-side (scheduling-dependent) counter `name` —
+    /// e.g. a shared cache's hit/miss split, which depends on which
+    /// worker got to a key first.
+    pub fn wall_count(&self, name: &'static str, n: u64) {
+        if self.level == Level::Off {
+            return;
+        }
+        *self.lock().wall_counters.entry(name).or_insert(0) += n;
+    }
+
+    /// The wall-side counter `name` (0 if never touched).
+    pub fn wall_counter(&self, name: &str) -> u64 {
+        self.lock().wall_counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of all wall-side counters, sorted by name.
+    pub fn wall_counters(&self) -> Vec<(&'static str, u64)> {
+        self.lock()
+            .wall_counters
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+
+    /// Snapshot of all wall-span accumulators, sorted by name.
+    pub fn wall_spans(&self) -> Vec<(&'static str, WallStat)> {
+        self.lock()
+            .wall_spans
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+
+    /// Render the wall-clock side (span timings, then wall counters).
+    /// **Scheduling-dependent by design** — keep out of determinism
+    /// diffs.
+    pub fn render_wall(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        for (k, w) in &inner.wall_spans {
+            let _ = writeln!(
+                out,
+                "{k:<34} {:>8} x {:>10.3} ms = {:>10.1} ms",
+                w.count,
+                w.mean_ms(),
+                w.total_ns as f64 / 1e6
+            );
+        }
+        for (k, v) in &inner.wall_counters {
+            let _ = writeln!(out, "{k:<34} {v:>10}");
+        }
+        out
+    }
+}
+
+/// Guard for one wall-clock span (see [`Recorder::span`]).
+pub struct Span {
+    sink: Option<(Arc<Mutex<Buffers>>, &'static str, Instant)>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((inner, name, start)) = self.sink.take() {
+            let elapsed = start.elapsed().as_nanos();
+            let mut buf = inner.lock().expect("recorder poisoned");
+            let e = buf.wall_spans.entry(name).or_default();
+            e.count += 1;
+            e.total_ns += elapsed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_recorder_keeps_nothing() {
+        let r = Recorder::off();
+        r.event("t", "e", vec![("k", Value::U64(1))]);
+        r.count("c", 5);
+        r.record("h", 9);
+        r.wall_count("w", 2);
+        drop(r.span("s"));
+        assert_eq!(r.events_len(), 0);
+        assert_eq!(r.counter("c"), 0);
+        assert!(r.hist("h").is_none());
+        assert_eq!(r.wall_counter("w"), 0);
+        assert!(r.wall_spans().is_empty());
+    }
+
+    #[test]
+    fn counters_level_drops_events_keeps_counts() {
+        let r = Recorder::new(Level::Counters);
+        r.event("t", "e", vec![]);
+        r.count("c", 2);
+        r.count("c", 3);
+        r.record("h", 4);
+        assert_eq!(r.events_len(), 0);
+        assert_eq!(r.counter("c"), 5);
+        assert_eq!(r.hist("h").unwrap().count, 1);
+    }
+
+    #[test]
+    fn events_jsonl_is_stable_and_ordered() {
+        let r = Recorder::new(Level::Events);
+        r.event_at(1_000, "net", "probe", vec![("dst", 7u64.into()), ("rtt_ms", 1.5.into())]);
+        r.event("net", "loss", vec![("cause", "outage".into()), ("ok", false.into())]);
+        let jsonl = r.events_jsonl();
+        assert_eq!(
+            jsonl,
+            "{\"t_ns\":1000,\"ev\":\"net.probe\",\"dst\":7,\"rtt_ms\":1.5}\n\
+             {\"t_ns\":1000,\"ev\":\"net.loss\",\"cause\":\"outage\",\"ok\":false}\n"
+        );
+    }
+
+    #[test]
+    fn fork_then_absorb_merges_everything_in_order() {
+        let root = Recorder::new(Level::Events);
+        root.event_at(5, "a", "first", vec![]);
+        root.count("c", 1);
+        let kid_a = root.fork();
+        let kid_b = root.fork();
+        kid_b.event_at(9, "a", "third", vec![]);
+        kid_b.count("c", 10);
+        kid_b.record("h", 100);
+        kid_b.wall_count("w", 1);
+        kid_a.event_at(7, "a", "second", vec![]);
+        kid_a.count("c", 5);
+        kid_a.record("h", 2);
+        // Absorb in coordinator order (a then b), not completion order.
+        root.absorb(&kid_a);
+        root.absorb(&kid_b);
+        assert_eq!(root.counter("c"), 16);
+        assert_eq!(root.wall_counter("w"), 1);
+        let h = root.hist("h").unwrap();
+        assert_eq!((h.count, h.min, h.max, h.sum), (2, 2, 100, 102));
+        root.with_events(|ev| {
+            let names: Vec<_> = ev.iter().map(|e| e.name).collect();
+            assert_eq!(names, ["first", "second", "third"]);
+        });
+        // Children are drained by absorb.
+        assert_eq!(kid_a.events_len(), 0);
+    }
+
+    #[test]
+    fn clone_shares_the_sink_fork_does_not() {
+        let r = Recorder::new(Level::Events);
+        let same = r.clone();
+        same.count("c", 3);
+        assert_eq!(r.counter("c"), 3);
+        let forked = r.fork();
+        forked.count("c", 4);
+        assert_eq!(r.counter("c"), 3);
+    }
+
+    #[test]
+    fn hist_buckets_by_bit_width() {
+        let mut h = Hist::default();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1023] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets[&0], 1); // 0
+        assert_eq!(h.buckets[&1], 1); // 1
+        assert_eq!(h.buckets[&2], 2); // 2..3
+        assert_eq!(h.buckets[&3], 2); // 4..7
+        assert_eq!(h.buckets[&4], 1); // 8..15
+        assert_eq!(h.buckets[&10], 1); // 512..1023
+        assert_eq!(h.count, 8);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1023);
+    }
+
+    #[test]
+    fn span_records_wall_time() {
+        let r = Recorder::new(Level::Counters);
+        {
+            let _s = r.span("work");
+            std::hint::black_box(0u64);
+        }
+        {
+            let _s = r.span("work");
+        }
+        let spans = r.wall_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].0, "work");
+        assert_eq!(spans[0].1.count, 2);
+    }
+
+    #[test]
+    fn event_field_accessors() {
+        let e = Event {
+            t_ns: 0,
+            target: "t",
+            name: "n",
+            fields: vec![
+                ("u", Value::U64(4)),
+                ("f", Value::F64(2.5)),
+                ("s", Value::Str("x")),
+            ],
+        };
+        assert_eq!(e.field_u64("u"), Some(4));
+        assert_eq!(e.field_f64("f"), Some(2.5));
+        assert_eq!(e.field_str("s"), Some("x"));
+        assert_eq!(e.field_u64("missing"), None);
+    }
+
+    #[test]
+    fn render_blocks_are_sorted_and_stable() {
+        let r = Recorder::new(Level::Events);
+        r.count("z.last", 1);
+        r.count("a.first", 2);
+        r.record("m.hist", 3);
+        let det = r.render_deterministic();
+        let a = det.find("a.first").unwrap();
+        let z = det.find("z.last").unwrap();
+        assert!(a < z, "counters not sorted:\n{det}");
+        assert!(det.contains("m.hist"));
+        r.wall_count("w.c", 1);
+        assert!(r.render_wall().contains("w.c"));
+    }
+}

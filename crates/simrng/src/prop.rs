@@ -1,3 +1,7 @@
+// The module-doc example shows the `proptest!` macro exactly as test
+// suites invoke it, and that grammar includes a literal `#[test]`
+// attribute — the doctest demonstrates syntax, not a runnable test.
+#![allow(clippy::test_attr_in_doctest)]
 //! A small in-repo property-test harness.
 //!
 //! Replaces the external `proptest` crate for the workspace's four

@@ -15,6 +15,7 @@ use geoloc::proxy::{estimate_eta, EtaEstimate, ProxyContext, DEFAULT_ETA};
 use geoloc::reliability::{MeasurementDiagnostics, ProbeScheduler};
 use geoloc::twophase::{run_two_phase_reliable, MeasurementStatus, ProxyProber};
 use netsim::{FilterPolicy, Network, NodeId, SimDuration, WorldNet, WorldNetConfig};
+use obs::Recorder;
 use simrng::rngs::StdRng;
 use simrng::SeedableRng;
 use std::sync::Arc;
@@ -109,10 +110,12 @@ pub struct StudyResults {
     /// Count of unmeasured proxies (`failures.len()`, kept as a plain
     /// number for quick summaries).
     pub unmeasured: usize,
-    /// Landmark disk-cache telemetry. Hit/miss split is
-    /// scheduling-dependent under >1 thread (two workers can race to
-    /// rasterize the same disk) — report it, never diff it.
-    pub cache: DiskCacheStats,
+    /// The study's observability recorder: per-proxy event buffers
+    /// merged in proxy order (deterministic for any thread count), plus
+    /// the wall-clock compartment (spans and scheduling-dependent
+    /// tallies like the disk-cache hit/miss split) that must never enter
+    /// a determinism diff.
+    pub obs: Recorder,
     /// Worker count the audit actually ran with.
     pub threads: usize,
 }
@@ -172,8 +175,13 @@ impl Study {
     /// scheduling-dependent.
     pub fn run_with_threads(&mut self, threads: usize) -> StudyResults {
         let atlas = Arc::clone(self.world.atlas());
+        let recorder = Recorder::new(self.config.obs_level);
+        let run_span = recorder.span("audit.run");
 
-        // η estimation over the pingable subset (§5.3, Fig. 13).
+        // η estimation over the pingable subset (§5.3, Fig. 13). Runs
+        // serially on the parent network before the fan-out, so its
+        // events land at the head of the trace in a fixed order.
+        self.world.network_mut().set_recorder(recorder.clone());
         let pingable: Vec<NodeId> = self
             .providers
             .proxies
@@ -181,50 +189,55 @@ impl Study {
             .filter(|p| p.pingable)
             .map(|p| p.node)
             .collect();
+        let eta_span = recorder.span("audit.eta_estimation");
         let eta_est = estimate_eta(
             self.world.network_mut(),
             self.client,
             &pingable,
             self.config.self_ping_attempts,
         );
+        drop(eta_span);
         let eta = eta_est.map_or(DEFAULT_ETA, |e| e.eta());
+        if recorder.events_enabled() {
+            recorder.set_now_ns(self.world.network().now().as_nanos());
+            recorder.event(
+                "audit",
+                "eta_estimated",
+                vec![
+                    ("eta", eta.into()),
+                    ("pingable", pingable.len().into()),
+                ],
+            );
+        }
 
         let cache = Arc::new(DiskCache::new(Arc::clone(self.mask.grid())));
-        let reliability = self.config.reliability;
-        let config = &self.config;
-        let constellation = &self.constellation;
-        let calibration = &self.calibration;
-        let registry = &self.registry;
-        let mask = &self.mask;
-        let network = self.world.network();
-        let client = self.client;
-        let atlas_ref = &atlas;
-        let cache_ref = &cache;
+        let ctx = AuditCtx {
+            network: self.world.network(),
+            client: self.client,
+            eta,
+            config: &self.config,
+            constellation: &self.constellation,
+            calibration: &self.calibration,
+            atlas: &atlas,
+            mask: &self.mask,
+            registry: &self.registry,
+            cache: &cache,
+            obs: &recorder,
+        };
 
         let proxies = self.providers.proxies.clone();
-        let outcomes = parallel::map_indexed(threads, proxies, |_, proxy| {
-            measure_one_proxy(
-                proxy,
-                network,
-                client,
-                eta,
-                config,
-                &reliability,
-                constellation,
-                calibration,
-                atlas_ref,
-                mask,
-                registry,
-                cache_ref,
-            )
-        });
+        let outcomes =
+            parallel::map_indexed(threads, proxies, |_, proxy| measure_one_proxy(proxy, &ctx));
 
+        // Merge the worker-local buffers back in proxy order: the trace
+        // is byte-identical for any thread count.
         let mut records: Vec<ProxyRecord> = Vec::with_capacity(outcomes.len());
         let mut failures: Vec<UnmeasuredProxy> = Vec::new();
         for outcome in outcomes {
-            match outcome {
-                ProxyOutcome::Record(r) => records.push(*r),
-                ProxyOutcome::Failure(f) => failures.push(f),
+            recorder.absorb(&outcome.trace);
+            match outcome.result {
+                ProxyResult::Record(r) => records.push(*r),
+                ProxyResult::Failure(f) => failures.push(f),
             }
         }
 
@@ -232,20 +245,60 @@ impl Study {
         // true country must be common to every member's touched set.
         apply_group_disambiguation(&mut records);
 
+        // The disk cache's hit/miss split is scheduling-dependent under
+        // >1 thread (two workers can race to rasterize the same disk),
+        // so it lives in the wall-clock compartment, never the
+        // deterministic one.
+        let stats = cache.stats();
+        recorder.wall_count("cache.disk.hits", stats.hits);
+        recorder.wall_count("cache.disk.misses", stats.misses);
+        recorder.wall_count("cache.disk.entries", stats.entries as u64);
+        recorder.wall_count("audit.threads", threads.max(1) as u64);
+        drop(run_span);
+
+        // The recorder belongs to this run: detach it from the shared
+        // network so later ad-hoc measurements (figure harnesses,
+        // benches) don't keep appending to a finished run's trace.
+        self.world.network_mut().set_recorder(Recorder::off());
+
         let unmeasured = failures.len();
         StudyResults {
             records,
             eta: eta_est,
             failures,
             unmeasured,
-            cache: cache.stats(),
+            obs: recorder,
             threads: threads.max(1),
         }
     }
 }
 
-/// What one proxy's measurement produced.
-enum ProxyOutcome {
+/// Everything [`measure_one_proxy`] needs beyond the proxy itself:
+/// the shared read-only world, the study knobs, and the observability
+/// recorder workers fork their per-proxy buffers from.
+struct AuditCtx<'a> {
+    network: &'a Network,
+    client: NodeId,
+    eta: f64,
+    config: &'a StudyConfig,
+    constellation: &'a Constellation,
+    calibration: &'a CalibrationDb,
+    atlas: &'a Arc<WorldAtlas>,
+    mask: &'a Region,
+    registry: &'a DataCenterRegistry,
+    cache: &'a Arc<DiskCache>,
+    obs: &'a Recorder,
+}
+
+/// What one proxy's measurement produced, plus the worker-local event
+/// buffer it recorded along the way (absorbed by the collector in proxy
+/// order, never in completion order).
+struct ProxyOutcome {
+    result: ProxyResult,
+    trace: Recorder,
+}
+
+enum ProxyResult {
     Record(Box<ProxyRecord>),
     Failure(UnmeasuredProxy),
 }
@@ -254,23 +307,38 @@ enum ProxyOutcome {
 /// every stochastic input is derived from `(config.seed, proxy.node)`
 /// and the shared read-only world, so the outcome is independent of
 /// which worker runs it and in what order.
-#[allow(clippy::too_many_arguments)]
-fn measure_one_proxy(
-    proxy: DeployedProxy,
-    network: &Network,
-    client: NodeId,
-    eta: f64,
-    config: &StudyConfig,
-    reliability: &geoloc::ReliabilityConfig,
-    constellation: &Constellation,
-    calibration: &CalibrationDb,
-    atlas: &Arc<WorldAtlas>,
-    mask: &Region,
-    registry: &DataCenterRegistry,
-    cache: &Arc<DiskCache>,
-) -> ProxyOutcome {
+fn measure_one_proxy(proxy: DeployedProxy, ctx: &AuditCtx<'_>) -> ProxyOutcome {
+    let AuditCtx {
+        network,
+        client,
+        eta,
+        config,
+        constellation,
+        calibration,
+        atlas,
+        mask,
+        registry,
+        cache,
+        ..
+    } = *ctx;
+    let reliability = &config.reliability;
+    // The per-proxy trace is detached from the study recorder (so
+    // workers never interleave) and merged back in proxy order.
+    let rec = ctx.obs.fork();
+    let span = rec.span("audit.proxy");
+    if rec.events_enabled() {
+        rec.event(
+            "audit",
+            "proxy_start",
+            vec![
+                ("node", proxy.node.into()),
+                ("provider", proxy.provider.into()),
+            ],
+        );
+    }
     let mix = u64::from(proxy.node).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let mut net = network.fork(config.seed ^ 0xf0bca ^ mix);
+    net.set_recorder(rec.clone());
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xaad17 ^ mix);
     let server = LandmarkServer::new(constellation, calibration, atlas);
     // Establish the tunnel context with the same retry budget as a
@@ -278,7 +346,7 @@ fn measure_one_proxy(
     // off. The backoff here is deterministic (no jitter) — it only
     // advances the sim clock.
     let mut establish_attempts = 0usize;
-    let mut ctx = None;
+    let mut ctx_established = None;
     for attempt in 0..reliability.retry.max_attempts.max(1) {
         if attempt > 0 {
             let wait = (reliability.retry.base_backoff_ms
@@ -287,31 +355,37 @@ fn measure_one_proxy(
             net.advance(SimDuration::from_ms(wait));
         }
         establish_attempts += 1;
-        ctx = ProxyContext::establish(
+        ctx_established = ProxyContext::establish(
             &mut net,
             client,
             proxy.node,
             eta,
             config.self_ping_attempts,
         );
-        if ctx.is_some() {
+        if ctx_established.is_some() {
             break;
         }
     }
-    let Some(ctx) = ctx else {
-        return ProxyOutcome::Failure(UnmeasuredProxy {
-            proxy,
-            failure: MeasureFailure::Unmeasurable,
-            diagnostics: MeasurementDiagnostics {
-                attempts: establish_attempts,
-                retries: establish_attempts - 1,
-                timeouts: establish_attempts,
-                ..Default::default()
-            },
-        });
+    let Some(tunnel) = ctx_established else {
+        drop(span);
+        return finish_proxy(
+            rec,
+            &net,
+            "tunnel_failed",
+            ProxyResult::Failure(UnmeasuredProxy {
+                proxy,
+                failure: MeasureFailure::Unmeasurable,
+                diagnostics: MeasurementDiagnostics {
+                    attempts: establish_attempts,
+                    retries: establish_attempts - 1,
+                    timeouts: establish_attempts,
+                    ..Default::default()
+                },
+            }),
+        );
     };
     let prober = ProxyProber {
-        ctx,
+        ctx: tunnel,
         attempts: config.attempts_per_landmark,
     };
     let mut scheduler = ProbeScheduler::new(
@@ -327,22 +401,37 @@ fn measure_one_proxy(
     let two_phase = match (outcome.status, outcome.result) {
         (MeasurementStatus::Ok, Some(r)) => r,
         (MeasurementStatus::InsufficientData, _) => {
-            return ProxyOutcome::Failure(UnmeasuredProxy {
-                proxy,
-                failure: MeasureFailure::InsufficientData,
-                diagnostics,
-            });
+            drop(span);
+            return finish_proxy(
+                rec,
+                &net,
+                "insufficient_data",
+                ProxyResult::Failure(UnmeasuredProxy {
+                    proxy,
+                    failure: MeasureFailure::InsufficientData,
+                    diagnostics,
+                }),
+            );
         }
         _ => {
-            return ProxyOutcome::Failure(UnmeasuredProxy {
-                proxy,
-                failure: MeasureFailure::Unmeasurable,
-                diagnostics,
-            });
+            drop(span);
+            return finish_proxy(
+                rec,
+                &net,
+                "unmeasurable",
+                ProxyResult::Failure(UnmeasuredProxy {
+                    proxy,
+                    failure: MeasureFailure::Unmeasurable,
+                    diagnostics,
+                }),
+            );
         }
     };
 
-    let prediction = CbgPlusPlus.locate_cached(&two_phase.observations, mask, cache);
+    let locate_span = rec.span("audit.locate");
+    let prediction =
+        CbgPlusPlus.locate_traced(&two_phase.observations, mask, Some(cache), &rec);
+    drop(locate_span);
     let verdict = assess_claim(atlas, &prediction.region, proxy.claimed);
 
     // Data-center disambiguation (Fig. 15).
@@ -362,23 +451,53 @@ fn measure_one_proxy(
     }
 
     let iclab = IclabChecker::default().check(atlas, proxy.claimed, &two_phase.observations);
-    ProxyOutcome::Record(Box::new(ProxyRecord {
-        continent_guess: two_phase.continent,
-        region_area_km2: prediction.region.area_km2(),
-        centroid: prediction.region.centroid(),
-        observations: two_phase
-            .observations
-            .iter()
-            .map(|o| (o.landmark, o.one_way_ms))
-            .collect(),
-        self_ping_ms: scheduler.inner.ctx.self_ping_ms,
-        iclab,
-        verdict,
-        refined,
-        dc_country,
-        diagnostics,
-        proxy,
-    }))
+    drop(span);
+    finish_proxy(
+        rec,
+        &net,
+        "measured",
+        ProxyResult::Record(Box::new(ProxyRecord {
+            continent_guess: two_phase.continent,
+            region_area_km2: prediction.region.area_km2(),
+            centroid: prediction.region.centroid(),
+            observations: two_phase
+                .observations
+                .iter()
+                .map(|o| (o.landmark, o.one_way_ms))
+                .collect(),
+            self_ping_ms: scheduler.inner.ctx.self_ping_ms,
+            iclab,
+            verdict,
+            refined,
+            dc_country,
+            diagnostics,
+            proxy,
+        })),
+    )
+}
+
+/// Stamp the closing event on a proxy's trace and package the outcome.
+/// Also folds the ledger outcome into the `audit.*` counters the
+/// reliability report cross-checks against its recount.
+fn finish_proxy(
+    rec: Recorder,
+    net: &Network,
+    status: &'static str,
+    result: ProxyResult,
+) -> ProxyOutcome {
+    rec.count(
+        match status {
+            "measured" => "audit.measured",
+            "insufficient_data" => "audit.insufficient",
+            _ => "audit.unmeasurable",
+        },
+        1,
+    );
+    if rec.events_enabled() {
+        rec.set_now_ns(net.now().as_nanos());
+        rec.event("audit", "proxy_done", vec![("status", status.into())]);
+    }
+    ProxyOutcome { result, trace: rec }
 }
 
 /// One study's reliability ledger: how many proxies got a verdict, how
@@ -395,6 +514,14 @@ pub struct ReliabilitySummary {
     pub quorum_degraded: usize,
     /// Summed diagnostics across every proxy (measured or not).
     pub totals: MeasurementDiagnostics,
+}
+
+impl ReliabilitySummary {
+    /// The ledger partition `(measured, insufficient, unmeasurable)` —
+    /// sums to the number of proxies deployed.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        (self.measured, self.insufficient, self.unmeasurable)
+    }
 }
 
 /// Resolve groups (same provider + AS + /24) whose members' regions share
@@ -509,6 +636,24 @@ impl StudyResults {
         }
     }
 
+    /// Landmark disk-cache telemetry, read back from the recorder's
+    /// wall-clock compartment (the split is scheduling-dependent under
+    /// more than one worker — report it, never diff it).
+    pub fn cache_stats(&self) -> DiskCacheStats {
+        DiskCacheStats {
+            hits: self.obs.wall_counter("cache.disk.hits"),
+            misses: self.obs.wall_counter("cache.disk.misses"),
+            entries: self.obs.wall_counter("cache.disk.entries") as usize,
+        }
+    }
+
+    /// The study's full event trace as JSON Lines, one event per line,
+    /// merged in proxy order — byte-identical for any thread count.
+    /// Empty unless the study ran at [`obs::Level::Events`].
+    pub fn trace_jsonl(&self) -> String {
+        self.obs.events_jsonl()
+    }
+
     /// Aggregate the per-proxy measurement diagnostics into one
     /// study-level reliability picture.
     pub fn reliability_summary(&self) -> ReliabilitySummary {
@@ -621,20 +766,110 @@ mod tests {
         assert!(res.threads >= 1);
         // Every measured proxy queries disks for the same constellation,
         // so once the fleet is larger than a handful the cache must be
-        // doing real work.
+        // doing real work. The exact hit/miss split is scheduling-
+        // dependent (two workers racing on one key both count a miss),
+        // so assert reuse happens rather than any particular ratio.
+        let cache = res.cache_stats();
         assert!(
-            res.cache.hits > res.cache.misses,
-            "cache ineffective: {} hits / {} misses over {} proxies",
-            res.cache.hits,
-            res.cache.misses,
+            cache.hits > 0,
+            "cache never reused an entry: {} hits / {} misses over {} proxies",
+            cache.hits,
+            cache.misses,
             study.providers.proxies.len()
         );
         // Each miss rasterizes at most one new entry (two workers racing
         // on the same key both count a miss but insert once).
-        assert!(res.cache.entries as u64 <= res.cache.misses);
+        assert!(cache.entries as u64 <= cache.misses);
         let rendered = crate::report::render_perf_telemetry(res);
         assert!(rendered.contains("disk cache"));
         assert!(rendered.contains("threads"));
+    }
+
+    #[test]
+    fn recorder_ledger_agrees_with_reliability_recount() {
+        // The audit.* counters are emitted at measurement time; the
+        // summary is recounted from the records afterwards. They must
+        // tell the same story or a layer is lying.
+        let g = results().lock().unwrap();
+        let (study, res) = &*g;
+        let s = res.reliability_summary();
+        assert_eq!(res.obs.counter("audit.measured") as usize, s.measured);
+        assert_eq!(
+            res.obs.counter("audit.insufficient") as usize,
+            s.insufficient
+        );
+        assert_eq!(
+            res.obs.counter("audit.unmeasurable") as usize,
+            s.unmeasurable
+        );
+        assert_eq!(
+            res.obs.counter("tp.quorum_degraded") as usize,
+            s.quorum_degraded
+        );
+        let (m, i, u) = s.counts();
+        assert_eq!(m + i + u, study.providers.proxies.len());
+        assert!(res.obs.counter("net.probe.sent") > 0);
+        assert!(
+            res.obs.counter("net.probe.sent")
+                >= res.obs.counter("net.probe.completed")
+                    + res.obs.counter("net.probe.timeout")
+        );
+    }
+
+    #[test]
+    fn trace_has_one_start_and_done_per_proxy_in_proxy_order() {
+        let g = results().lock().unwrap();
+        let (study, res) = &*g;
+        let n = study.providers.proxies.len();
+        res.obs.with_events(|evs| {
+            let starts: Vec<u64> = evs
+                .iter()
+                .filter(|e| e.name == "proxy_start")
+                .map(|e| e.field_u64("node").unwrap())
+                .collect();
+            assert_eq!(starts.len(), n);
+            let expected: Vec<u64> = study
+                .providers
+                .proxies
+                .iter()
+                .map(|p| u64::from(p.node))
+                .collect();
+            assert_eq!(starts, expected, "trace not merged in proxy order");
+            assert_eq!(
+                evs.iter().filter(|e| e.name == "proxy_done").count(),
+                n
+            );
+        });
+        assert_eq!(res.trace_jsonl().lines().count(), res.obs.events_len());
+        // Wall compartment: one audit.proxy span per proxy.
+        let spans = res.obs.wall_spans();
+        let proxy_span = spans
+            .iter()
+            .find(|(name, _)| *name == "audit.proxy")
+            .expect("per-proxy span");
+        assert_eq!(proxy_span.1.count as usize, n);
+    }
+
+    #[test]
+    fn obs_level_off_records_nothing_but_results_match() {
+        let mut cfg = StudyConfig::small(41);
+        cfg.total_proxies = 8;
+        cfg.obs_level = obs::Level::Off;
+        let mut quiet = Study::build(cfg.clone());
+        let quiet_res = quiet.run_with_threads(2);
+        assert_eq!(quiet_res.obs.events_len(), 0);
+        assert_eq!(quiet_res.obs.counter("net.probe.sent"), 0);
+        cfg.obs_level = obs::Level::Events;
+        let mut loud = Study::build(cfg);
+        let loud_res = loud.run_with_threads(2);
+        assert!(loud_res.obs.events_len() > 0);
+        // Observability depth never changes the science.
+        assert_eq!(quiet_res.records.len(), loud_res.records.len());
+        for (a, b) in quiet_res.records.iter().zip(&loud_res.records) {
+            assert_eq!(a.proxy.node, b.proxy.node);
+            assert_eq!(a.region_area_km2.to_bits(), b.region_area_km2.to_bits());
+            assert_eq!(a.verdict.assessment, b.verdict.assessment);
+        }
     }
 
     #[test]
@@ -736,5 +971,79 @@ mod tests {
             let iclab = res.iclab_agreement(p);
             assert!((0.0..=1.0).contains(&iclab));
         }
+    }
+
+    /// A results value with nothing in it — no study ran at all.
+    fn empty_results() -> StudyResults {
+        StudyResults {
+            records: Vec::new(),
+            eta: None,
+            failures: Vec::new(),
+            unmeasured: 0,
+            obs: Recorder::off(),
+            threads: 1,
+        }
+    }
+
+    fn dummy_proxy(node: NodeId) -> DeployedProxy {
+        DeployedProxy {
+            node,
+            provider: 0,
+            claimed: 0,
+            true_country: 0,
+            true_location: geokit::GeoPoint::new(0.0, 0.0),
+            group_key: (0, 0, 0),
+            pingable: false,
+            gateway: node,
+        }
+    }
+
+    #[test]
+    fn empty_study_has_all_zero_ledgers() {
+        let res = empty_results();
+        let s = res.reliability_summary();
+        assert_eq!(s.counts(), (0, 0, 0));
+        assert_eq!(s.quorum_degraded, 0);
+        assert_eq!(res.counts(false), (0, 0, 0));
+        assert_eq!(res.counts(true), (0, 0, 0));
+        assert_eq!(res.fig17_categories(), [0; 6]);
+        assert_eq!(res.cache_stats(), geoloc::multilateration::DiskCacheStats::default());
+        // Rendering must cope: no division by zero, no panic.
+        let rendered = crate::report::render_reliability(&res);
+        assert!(rendered.contains("0 total"));
+        assert!(crate::report::render_observability(&res).contains("0 events"));
+        assert!(res.trace_jsonl().is_empty());
+    }
+
+    #[test]
+    fn all_unmeasured_study_partitions_into_failure_kinds() {
+        let mut res = empty_results();
+        res.failures = vec![
+            UnmeasuredProxy {
+                proxy: dummy_proxy(1),
+                failure: MeasureFailure::Unmeasurable,
+                diagnostics: MeasurementDiagnostics::default(),
+            },
+            UnmeasuredProxy {
+                proxy: dummy_proxy(2),
+                failure: MeasureFailure::InsufficientData,
+                diagnostics: MeasurementDiagnostics::default(),
+            },
+            UnmeasuredProxy {
+                proxy: dummy_proxy(3),
+                failure: MeasureFailure::Unmeasurable,
+                diagnostics: MeasurementDiagnostics::default(),
+            },
+        ];
+        res.unmeasured = res.failures.len();
+        let s = res.reliability_summary();
+        assert_eq!(s.counts(), (0, 1, 2));
+        // Nothing was measured, so every verdict table is empty …
+        assert_eq!(res.counts(true), (0, 0, 0));
+        assert_eq!(res.fig17_categories(), [0; 6]);
+        // … but the reliability ledger still accounts for every proxy.
+        let rendered = crate::report::render_reliability(&res);
+        assert!(rendered.contains("3 total"));
+        assert!(rendered.contains("2 unmeasurable"));
     }
 }

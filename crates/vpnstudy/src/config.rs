@@ -32,6 +32,11 @@ pub struct StudyConfig {
     /// Measurement reliability policy: retries, backoff, method
     /// fallback, and quorum thresholds for degraded runs.
     pub reliability: ReliabilityConfig,
+    /// Observability depth: `Off` (no recording), `Counters`
+    /// (counters + histograms), or `Events` (adds the per-probe event
+    /// trace). The default, `Events`, is what the determinism gate and
+    /// the trace figure consume.
+    pub obs_level: obs::Level,
 }
 
 impl StudyConfig {
@@ -49,6 +54,7 @@ impl StudyConfig {
             crowd_volunteers: 40,
             crowd_workers: 150,
             reliability: ReliabilityConfig::default(),
+            obs_level: obs::Level::Events,
         }
     }
 
@@ -67,6 +73,7 @@ impl StudyConfig {
             crowd_volunteers: 6,
             crowd_workers: 14,
             reliability: ReliabilityConfig::default(),
+            obs_level: obs::Level::Events,
         }
     }
 }

@@ -77,14 +77,16 @@ pub fn render_reliability(results: &StudyResults) -> String {
     out
 }
 
-/// Performance telemetry: worker count and landmark disk-cache
-/// effectiveness. **Not deterministic across thread counts** — under
-/// more than one worker, two threads can race to rasterize the same
-/// disk, shifting the hit/miss split — so the CI determinism gate must
-/// never include this block in the bytes it diffs.
+/// Performance telemetry: worker count, landmark disk-cache
+/// effectiveness, and the recorder's wall-clock compartment (span
+/// timings). **Not deterministic across thread counts** — under more
+/// than one worker, two threads can race to rasterize the same disk,
+/// shifting the hit/miss split, and wall timings depend on the machine —
+/// so the CI determinism gate must never include this block in the
+/// bytes it diffs.
 pub fn render_perf_telemetry(results: &StudyResults) -> String {
     let mut out = String::new();
-    let c = &results.cache;
+    let c = results.cache_stats();
     let _ = writeln!(out, "threads: {}", results.threads);
     let _ = writeln!(
         out,
@@ -94,6 +96,26 @@ pub fn render_perf_telemetry(results: &StudyResults) -> String {
         c.hit_rate() * 100.0,
         c.entries
     );
+    let wall = results.obs.render_wall();
+    if !wall.is_empty() {
+        let _ = write!(out, "{wall}");
+    }
+    out
+}
+
+/// The deterministic observability block: every counter and histogram
+/// the layers emitted during the run, identical for any thread count
+/// (the wall-clock compartment is deliberately excluded — it lives in
+/// [`render_perf_telemetry`]).
+pub fn render_observability(results: &StudyResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "observability: level {:?}, {} events recorded",
+        results.obs.level(),
+        results.obs.events_len()
+    );
+    let _ = write!(out, "{}", results.obs.render_deterministic());
     out
 }
 

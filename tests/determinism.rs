@@ -103,6 +103,31 @@ fn thread_count_never_changes_the_study() {
     }
 }
 
+/// The observability layer's determinism contract: the JSONL event
+/// trace and the rendered observability block are byte-identical at any
+/// thread count. Per-proxy event buffers are recorded worker-locally
+/// and merged in proxy order, so the merged stream must not depend on
+/// which worker measured which proxy — only the wall-clock compartment
+/// (spans, disk-cache telemetry) may differ, and it is excluded here.
+#[test]
+fn trace_and_observability_report_are_thread_count_invariant() {
+    use proxy_verifier::vpnstudy::report;
+    let run = |threads: usize| {
+        let mut study = Study::build(StudyConfig::small(77));
+        let results = study.run_with_threads(threads);
+        (results.trace_jsonl(), report::render_observability(&results))
+    };
+    let (trace1, obs1) = run(1);
+    assert!(
+        trace1.lines().count() > 100,
+        "trace suspiciously small: {} lines",
+        trace1.lines().count()
+    );
+    let (trace8, obs8) = run(8);
+    assert_eq!(trace1, trace8, "JSONL trace diverged between 1 and 8 threads");
+    assert_eq!(obs1, obs8, "observability report diverged between 1 and 8 threads");
+}
+
 /// End-to-end check on the in-repo RNG substrate: two fully independent
 /// studies built from the same `StudyConfig` seed must agree on every
 /// audit verdict count, both for the single-round and the refined pass.

@@ -3,7 +3,7 @@
 use atlas::CalibrationSet;
 use geoloc::algorithms::{Cbg, CbgPlusPlus};
 use geoloc::delay_model::{CbgModel, OctantModel};
-use geoloc::multilateration::{intersect_constraints, max_consistent_subset, RingConstraint};
+use geoloc::multilateration::{intersect_constraints, max_consistent_subset, DiskCache, RingConstraint};
 use geoloc::{Geolocator, Observation};
 use geokit::{GeoGrid, GeoPoint, Region};
 use simrng::prop::prelude::*;
@@ -112,6 +112,27 @@ proptest! {
         prop_assert_eq!(subset.satisfied, constraints.len());
         let plain = intersect_constraints(&constraints, &mask);
         prop_assert_eq!(subset.region.cell_count(), plain.cell_count());
+    }
+
+    #[test]
+    fn disk_cache_quantization_is_sound(
+        center in arb_point(),
+        radius in 30.0f64..5_000.0,
+        res_step in 1u32..5,
+    ) {
+        // The cache rounds the outer radius *up* to whole grid cells and
+        // the inner (annulus-subtrahend) radius *down*: a region built
+        // from cached disks can only over-cover the exact rasterized
+        // cap, never exclude the true location.
+        let grid = GeoGrid::new(f64::from(res_step) * 0.5);
+        let cache = DiskCache::new(std::sync::Arc::clone(&grid));
+        let exact = Region::from_cap(&grid, &geokit::SphericalCap::new(center, radius));
+        prop_assert!(cache.quantized_radius_km(radius) + 1e-9 >= radius);
+        let outer = cache.disk(&center, radius);
+        prop_assert!(exact.is_subset_of(&outer));
+        if let Some(inner) = cache.inner_disk(&center, radius) {
+            prop_assert!(inner.is_subset_of(&exact));
+        }
     }
 
     #[test]
