@@ -35,3 +35,19 @@ cmp "$report_dir/report-1thread.txt" "$report_dir/report-8thread.txt" || {
     echo "FAIL: study report differs between PV_THREADS=1 and PV_THREADS=8" >&2
     exit 1
 }
+
+# Perf lab smoke (see EXPERIMENTS.md "Perf lab"):
+#  1. the profiler must render a span tree for a full (small) audit;
+#  2. the perf gate's comparator must catch a synthetic 2x regression
+#     (machine-independent self-test);
+#  3. the smoke suite must pass against the committed baseline. The
+#     baseline was recorded on the reference machine; on other hardware
+#     a miss here means "refresh with perf_gate --update", not "CI is
+#     broken", so this step warns instead of failing.
+cargo run -q --release --offline -p bench --bin figures -- profile --scale small \
+    > /dev/null
+PV_BENCH_SAMPLES=5 cargo run -q --release --offline -p bench --bin perf_gate -- --self-test
+PV_BENCH_SAMPLES=10 cargo run -q --release --offline -p bench --bin perf_gate || {
+    echo "WARN: perf gate exceeded tolerance vs the committed baseline" >&2
+    echo "      (real regression, or a different machine: see perf_gate --update)" >&2
+}

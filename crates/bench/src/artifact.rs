@@ -1,0 +1,599 @@
+//! Machine-readable bench artifacts: one JSON document per bench group,
+//! written next to the text reports in `bench_output/` so the repo-level
+//! perf trajectory is diffable and scriptable.
+//!
+//! The workspace is hermetic (no serde), so this module carries its own
+//! tiny JSON writer and recursive-descent parser — enough for the flat
+//! artifact schema below, nothing more:
+//!
+//! ```json
+//! {
+//!   "group": "audit",
+//!   "generated_by": "bench_audit",
+//!   "threads": 8,
+//!   "git": "b67b00b",
+//!   "counters": { "net.probe.sent": 123 },
+//!   "wall_counters": { "audit.threads": 8 },
+//!   "results": [
+//!     { "name": "audit/one proxy", "median_ns": 127000.5, "p10_ns": 1.0,
+//!       "p90_ns": 2.0, "iters_per_sample": 39, "samples": 20,
+//!       "tolerance": 0.5 }
+//!   ]
+//! }
+//! ```
+//!
+//! `tolerance` is optional per entry: the perf-regression gate
+//! (`perf_gate`) reads it as that bench's relative regression budget,
+//! falling back to its global default when absent.
+
+use crate::harness::Sampled;
+use std::fmt::Write as _;
+
+/// One benchmark's summary inside an artifact.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark identifier (`group/bench`).
+    pub name: String,
+    /// Median per-iteration time (ns).
+    pub median_ns: f64,
+    /// 10th percentile (ns).
+    pub p10_ns: f64,
+    /// 90th percentile (ns).
+    pub p90_ns: f64,
+    /// Iterations per timed sample.
+    pub iters_per_sample: u64,
+    /// Number of timed samples taken.
+    pub samples: u64,
+    /// Optional per-entry relative tolerance for the perf gate (e.g.
+    /// `0.5` allows the median to grow 50 % before failing).
+    pub tolerance: Option<f64>,
+}
+
+impl From<&Sampled> for BenchRecord {
+    fn from(s: &Sampled) -> BenchRecord {
+        BenchRecord {
+            name: s.name.clone(),
+            median_ns: s.median_ns,
+            p10_ns: s.p10_ns,
+            p90_ns: s.p90_ns,
+            iters_per_sample: s.iters_per_sample,
+            samples: s.samples as u64,
+            tolerance: None,
+        }
+    }
+}
+
+/// A bench group's machine-readable summary: results plus the context
+/// they were measured in (thread count, git revision, recorder
+/// counters).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchArtifact {
+    /// Group name (the part of each bench id before the first `/`).
+    pub group: String,
+    /// Bench binary that produced the artifact.
+    pub generated_by: String,
+    /// Configured worker thread count (`PV_THREADS` resolution).
+    pub threads: u64,
+    /// `git describe --always --dirty`, when a git checkout is around.
+    pub git: Option<String>,
+    /// Deterministic counters snapshotted from a supplied recorder.
+    pub counters: Vec<(String, u64)>,
+    /// Wall-compartment counters snapshotted from a supplied recorder.
+    pub wall_counters: Vec<(String, u64)>,
+    /// Per-bench timing summaries.
+    pub results: Vec<BenchRecord>,
+}
+
+impl BenchArtifact {
+    /// The artifact file name for a group: `BENCH_<group>.json`, with
+    /// path-hostile characters flattened to `_`.
+    pub fn file_name(group: &str) -> String {
+        let sanitized: String = group
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        format!("BENCH_{sanitized}.json")
+    }
+
+    /// Replace entries matching `fresh` by name (keeping their committed
+    /// `tolerance`), append names not seen before. Entries from earlier
+    /// runs that `fresh` does not mention survive untouched, so a
+    /// filtered bench run updates only its subset.
+    pub fn merge_results(&mut self, fresh: &[BenchRecord]) {
+        for rec in fresh {
+            match self.results.iter_mut().find(|r| r.name == rec.name) {
+                Some(existing) => {
+                    let tolerance = existing.tolerance;
+                    *existing = rec.clone();
+                    if existing.tolerance.is_none() {
+                        existing.tolerance = tolerance;
+                    }
+                }
+                None => self.results.push(rec.clone()),
+            }
+        }
+    }
+
+    /// Serialize to pretty-printed JSON (stable field order, one result
+    /// per line — diff-friendly).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"group\": {},", json_str(&self.group));
+        let _ = writeln!(out, "  \"generated_by\": {},", json_str(&self.generated_by));
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        match &self.git {
+            Some(g) => {
+                let _ = writeln!(out, "  \"git\": {},", json_str(g));
+            }
+            None => {
+                let _ = writeln!(out, "  \"git\": null,");
+            }
+        }
+        for (label, table) in [
+            ("counters", &self.counters),
+            ("wall_counters", &self.wall_counters),
+        ] {
+            let _ = write!(out, "  \"{label}\": {{");
+            for (i, (k, v)) in table.iter().enumerate() {
+                let sep = if i == 0 { "\n" } else { ",\n" };
+                let _ = write!(out, "{sep}    {}: {}", json_str(k), v);
+            }
+            if table.is_empty() {
+                out.push_str("},\n");
+            } else {
+                out.push_str("\n  },\n");
+            }
+        }
+        out.push_str("  \"results\": [");
+        for (i, r) in self.results.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                out,
+                "{sep}    {{ \"name\": {}, \"median_ns\": {:.1}, \"p10_ns\": {:.1}, \
+                 \"p90_ns\": {:.1}, \"iters_per_sample\": {}, \"samples\": {}",
+                json_str(&r.name),
+                r.median_ns,
+                r.p10_ns,
+                r.p90_ns,
+                r.iters_per_sample,
+                r.samples,
+            );
+            if let Some(t) = r.tolerance {
+                let _ = write!(out, ", \"tolerance\": {t:.2}");
+            }
+            out.push_str(" }");
+        }
+        if self.results.is_empty() {
+            out.push_str("]\n}\n");
+        } else {
+            out.push_str("\n  ]\n}\n");
+        }
+        out
+    }
+
+    /// Parse an artifact back from JSON. Unknown fields are ignored;
+    /// missing fields default (so hand-written baselines can stay
+    /// minimal).
+    pub fn parse(text: &str) -> Result<BenchArtifact, String> {
+        let value = Json::parse(text)?;
+        let obj = value.as_object().ok_or("artifact root is not an object")?;
+        let mut art = BenchArtifact::default();
+        for (key, val) in obj {
+            match key.as_str() {
+                "group" => art.group = val.as_str().unwrap_or_default().to_string(),
+                "generated_by" => {
+                    art.generated_by = val.as_str().unwrap_or_default().to_string();
+                }
+                "threads" => art.threads = val.as_f64().unwrap_or(0.0) as u64,
+                "git" => art.git = val.as_str().map(str::to_string),
+                "counters" => art.counters = parse_counter_table(val),
+                "wall_counters" => art.wall_counters = parse_counter_table(val),
+                "results" => {
+                    let arr = val.as_array().ok_or("\"results\" is not an array")?;
+                    for item in arr {
+                        let entry =
+                            item.as_object().ok_or("result entry is not an object")?;
+                        let mut rec = BenchRecord {
+                            name: String::new(),
+                            median_ns: 0.0,
+                            p10_ns: 0.0,
+                            p90_ns: 0.0,
+                            iters_per_sample: 0,
+                            samples: 0,
+                            tolerance: None,
+                        };
+                        for (k, v) in entry {
+                            match k.as_str() {
+                                "name" => {
+                                    rec.name =
+                                        v.as_str().unwrap_or_default().to_string();
+                                }
+                                "median_ns" => rec.median_ns = v.as_f64().unwrap_or(0.0),
+                                "p10_ns" => rec.p10_ns = v.as_f64().unwrap_or(0.0),
+                                "p90_ns" => rec.p90_ns = v.as_f64().unwrap_or(0.0),
+                                "iters_per_sample" => {
+                                    rec.iters_per_sample =
+                                        v.as_f64().unwrap_or(0.0) as u64;
+                                }
+                                "samples" => {
+                                    rec.samples = v.as_f64().unwrap_or(0.0) as u64;
+                                }
+                                "tolerance" => rec.tolerance = v.as_f64(),
+                                _ => {}
+                            }
+                        }
+                        if rec.name.is_empty() {
+                            return Err("result entry without a name".into());
+                        }
+                        art.results.push(rec);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(art)
+    }
+}
+
+fn parse_counter_table(val: &Json) -> Vec<(String, u64)> {
+    val.as_object()
+        .map(|obj| {
+            obj.iter()
+                .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n as u64)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The minimal JSON value model the artifact schema needs.
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                expect(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                entries.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(entries));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*pos])
+                .map_err(|_| "invalid utf8 in number")?;
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number {text:?} at byte {start}"))
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => {
+                return String::from_utf8(out).map_err(|_| "invalid utf8 in string".into());
+            }
+            b'\\' => {
+                let esc = b.get(*pos).copied().ok_or("dangling escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'/' => out.push(b'/'),
+                    b'n' => out.push(b'\n'),
+                    b't' => out.push(b'\t'),
+                    b'r' => out.push(b'\r'),
+                    b'b' => out.push(0x08),
+                    b'f' => out.push(0x0c),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                        *pos += 4;
+                        // Surrogate pairs don't occur in bench names; map
+                        // lone surrogates to the replacement character.
+                        let ch = char::from_u32(code).unwrap_or('\u{fffd}');
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                    }
+                    other => return Err(format!("bad escape '\\{}'", other as char)),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_artifact() -> BenchArtifact {
+        BenchArtifact {
+            group: "audit".into(),
+            generated_by: "bench_audit".into(),
+            threads: 8,
+            git: Some("b67b00b-dirty".into()),
+            counters: vec![("net.probe.sent".into(), 123)],
+            wall_counters: vec![("audit.threads".into(), 8)],
+            results: vec![
+                BenchRecord {
+                    name: "audit/one proxy".into(),
+                    median_ns: 127_000.5,
+                    p10_ns: 120_000.0,
+                    // One decimal place: to_json writes {:.1}, so finer
+                    // precision would not survive the round trip.
+                    p90_ns: 140_000.2,
+                    iters_per_sample: 39,
+                    samples: 20,
+                    tolerance: Some(0.5),
+                },
+                BenchRecord {
+                    name: "audit/with \"quotes\"".into(),
+                    median_ns: 10.0,
+                    p10_ns: 9.0,
+                    p90_ns: 11.0,
+                    iters_per_sample: 1000,
+                    samples: 20,
+                    tolerance: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let art = sample_artifact();
+        let parsed = BenchArtifact::parse(&art.to_json()).unwrap();
+        assert_eq!(parsed.group, art.group);
+        assert_eq!(parsed.generated_by, art.generated_by);
+        assert_eq!(parsed.threads, art.threads);
+        assert_eq!(parsed.git, art.git);
+        assert_eq!(parsed.counters, art.counters);
+        assert_eq!(parsed.wall_counters, art.wall_counters);
+        assert_eq!(parsed.results, art.results);
+    }
+
+    #[test]
+    fn empty_artifact_round_trips() {
+        let art = BenchArtifact::default();
+        let parsed = BenchArtifact::parse(&art.to_json()).unwrap();
+        assert_eq!(parsed, art);
+    }
+
+    #[test]
+    fn merge_replaces_by_name_and_keeps_committed_tolerance() {
+        let mut art = sample_artifact();
+        let fresh = vec![
+            BenchRecord {
+                name: "audit/one proxy".into(),
+                median_ns: 99_000.0,
+                p10_ns: 98_000.0,
+                p90_ns: 100_000.0,
+                iters_per_sample: 50,
+                samples: 5,
+                tolerance: None,
+            },
+            BenchRecord {
+                name: "audit/brand new".into(),
+                median_ns: 1.0,
+                p10_ns: 1.0,
+                p90_ns: 1.0,
+                iters_per_sample: 1,
+                samples: 2,
+                tolerance: None,
+            },
+        ];
+        art.merge_results(&fresh);
+        assert_eq!(art.results.len(), 3);
+        let one = art.results.iter().find(|r| r.name == "audit/one proxy").unwrap();
+        assert_eq!(one.median_ns, 99_000.0);
+        // The committed per-entry tolerance survives a re-measure.
+        assert_eq!(one.tolerance, Some(0.5));
+        assert!(art.results.iter().any(|r| r.name == "audit/brand new"));
+    }
+
+    #[test]
+    fn parse_tolerates_minimal_hand_written_baselines() {
+        let art = BenchArtifact::parse(
+            r#"{ "group": "gate",
+                 "results": [ { "name": "gate/x", "median_ns": 1500 } ] }"#,
+        )
+        .unwrap();
+        assert_eq!(art.group, "gate");
+        assert_eq!(art.threads, 0);
+        assert!(art.git.is_none());
+        assert_eq!(art.results[0].median_ns, 1500.0);
+        assert_eq!(art.results[0].tolerance, None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(BenchArtifact::parse("").is_err());
+        assert!(BenchArtifact::parse("{").is_err());
+        assert!(BenchArtifact::parse("[1, 2]").is_err());
+        assert!(BenchArtifact::parse("{\"results\": [{}]}").is_err());
+        assert!(BenchArtifact::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn file_names_are_sanitized() {
+        assert_eq!(BenchArtifact::file_name("audit"), "BENCH_audit.json");
+        assert_eq!(
+            BenchArtifact::file_name("audit one/two"),
+            "BENCH_audit_one_two.json"
+        );
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        for s in ["plain", "with \"quotes\"", "tab\there", "back\\slash", "µs"] {
+            let json = json_str(s);
+            let mut pos = 0;
+            let parsed = parse_string(json.as_bytes(), &mut pos).unwrap();
+            assert_eq!(parsed, s);
+            assert_eq!(pos, json.len());
+        }
+    }
+}

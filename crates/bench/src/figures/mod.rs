@@ -9,6 +9,7 @@ pub mod ablation;
 pub mod calibration;
 pub mod faultsweep;
 pub mod market;
+pub mod profile;
 pub mod study;
 pub mod tools;
 pub mod trace;
@@ -18,6 +19,7 @@ pub use ablation::{ablation_cbgpp, fig3_fig8_maps};
 pub use faultsweep::fault_sweep;
 pub use calibration::{fig10_estimate_ratios, fig2_calibration};
 pub use market::fig14_market;
+pub use profile::profile_spans;
 pub use study::{
     fig13_eta, fig16_colocation_group, fig17_overall, fig18_provider_country,
     fig19_provider_maps, fig20_region_size_vs_landmark, fig21_method_comparison,

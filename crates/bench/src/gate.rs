@@ -1,0 +1,441 @@
+//! The CI perf-regression gate: a fast smoke subset of the benches,
+//! re-measured and compared against a committed baseline artifact.
+//!
+//! The gate's job is to catch *large accidental regressions* (an
+//! algorithmic slip that doubles the cost of disk intersection, a cache
+//! that stops hitting) without turning CI red on machine noise. Hence:
+//!
+//! * the smoke suite is tiny and dominated by the hot kernels the paper
+//!   pipeline actually spends its time in (cap rasterization, disk
+//!   intersection, the counting sweep, disk-cache lookups, and one full
+//!   single-proxy audit);
+//! * only **medians** are compared, with a generous relative tolerance —
+//!   the default is ±30 % ([`DEFAULT_TOLERANCE`]), overridable globally
+//!   via the `PV_PERF_GATE_TOL` environment variable and per entry via
+//!   the `tolerance` field in the baseline JSON;
+//! * sample counts honor `PV_BENCH_SAMPLES`
+//!   ([`crate::harness::env_sample_override`]), so CI can run the gate
+//!   in a couple of seconds.
+//!
+//! The baseline lives in `bench_output/BENCH_gate.json` and is refreshed
+//! with `perf_gate --update` on the machine that defines the baseline.
+//! `perf_gate --self-test` proves the comparator has teeth by doctoring
+//! the freshly measured medians down 2× and checking that every entry
+//! trips the gate — machine-independent, so it runs in CI.
+
+use crate::artifact::{BenchArtifact, BenchRecord};
+use crate::harness::{run_sampled, Sampled};
+use crate::{build_study_context, Scale};
+use geokit::{GeoGrid, GeoPoint, Region, SphericalCap};
+use geoloc::algorithms::CbgPlusPlus;
+use geoloc::assess::assess_claim;
+use geoloc::multilateration::{
+    intersect_constraints, max_consistent_subset, DiskCache, RingConstraint,
+};
+use geoloc::proxy::ProxyContext;
+use geoloc::twophase::{run_two_phase, ProxyProber};
+use geoloc::Geolocator;
+use simrng::rngs::StdRng;
+use simrng::SeedableRng;
+use std::hint::black_box;
+
+/// Relative median growth allowed before an entry counts as regressed,
+/// when neither the baseline entry nor `PV_PERF_GATE_TOL` says otherwise.
+pub const DEFAULT_TOLERANCE: f64 = 0.30;
+
+/// The group name the gate's benches and baseline artifact live under.
+pub const GATE_GROUP: &str = "gate";
+
+/// The effective global tolerance: `PV_PERF_GATE_TOL` when parseable and
+/// positive, [`DEFAULT_TOLERANCE`] otherwise.
+pub fn default_tolerance() -> f64 {
+    std::env::var("PV_PERF_GATE_TOL")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|t| *t > 0.0)
+        .unwrap_or(DEFAULT_TOLERANCE)
+}
+
+/// Per-entry tolerances written by `perf_gate --update`. The audit entry
+/// runs a whole simulated measurement pipeline whose cost moves with the
+/// study RNG and allocator behaviour, and the cache-hit entry measures
+/// tens of nanoseconds where scheduling jitter alone is a double-digit
+/// percentage — both get looser budgets than the default.
+pub fn suite_tolerance(name: &str) -> Option<f64> {
+    match name {
+        "gate/audit_one_proxy" => Some(0.60),
+        "gate/cache_hit" => Some(0.50),
+        _ => None,
+    }
+}
+
+/// Three honest disks around a European target on `grid`.
+fn gate_disks(grid_res: f64) -> (Vec<RingConstraint>, Region) {
+    let target = GeoPoint::new(48.0, 11.0);
+    let constraints = (0..3)
+        .map(|i| {
+            let lm = target.destination(120.0 * f64::from(i), 900.0);
+            RingConstraint::disk(lm, 1100.0)
+        })
+        .collect();
+    (constraints, Region::full(GeoGrid::new(grid_res)))
+}
+
+/// A constraint set whose full intersection is empty (two far-apart
+/// tight disks), forcing `max_consistent_subset` off the fast path and
+/// into the counting sweep.
+fn inconsistent_disks() -> (Vec<RingConstraint>, Region) {
+    let europe = GeoPoint::new(48.0, 11.0);
+    let pacific = GeoPoint::new(-20.0, -150.0);
+    let mut constraints: Vec<RingConstraint> = (0..4)
+        .map(|i| {
+            let lm = europe.destination(90.0 * f64::from(i), 700.0);
+            RingConstraint::disk(lm, 900.0)
+        })
+        .collect();
+    constraints.push(RingConstraint::disk(pacific, 500.0));
+    (constraints, Region::full(GeoGrid::new(1.0)))
+}
+
+/// Measure the gate's smoke suite at `samples` samples per bench.
+/// Expensive setup (the small study world) happens once, outside the
+/// timed loops.
+pub fn smoke_suite(samples: usize) -> Vec<Sampled> {
+    let mut out = Vec::new();
+
+    let grid = GeoGrid::new(1.0);
+    out.push(run_sampled("gate/cap_raster", samples, |b| {
+        let cap = SphericalCap::new(GeoPoint::new(48.0, 11.0), 800.0);
+        b.iter(|| Region::from_cap(black_box(&grid), black_box(&cap)))
+    }));
+
+    let (disks, mask) = gate_disks(1.0);
+    out.push(run_sampled("gate/disk_intersect", samples, |b| {
+        b.iter(|| intersect_constraints(black_box(&disks), black_box(&mask)))
+    }));
+
+    let (bad, bad_mask) = inconsistent_disks();
+    out.push(run_sampled("gate/counting_sweep", samples, |b| {
+        b.iter(|| max_consistent_subset(black_box(&bad), black_box(&bad_mask)))
+    }));
+
+    let cache = DiskCache::new(GeoGrid::new(1.0));
+    out.push(run_sampled("gate/cache_hit", samples, |b| {
+        let lm = GeoPoint::new(48.0, 11.0);
+        // Rotate through a handful of radii so the steady state is
+        // all-hits over a few keys — the lookup path, not rasterization.
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let radius = 600.0 + 200.0 * (i % 4) as f64;
+            black_box(cache.disk(&lm, radius))
+        })
+    }));
+
+    let mut ctx = build_study_context(Scale::Small);
+    let proxy = ctx.study.providers.proxies[0].clone();
+    let client = ctx.study.client;
+    let atlas = std::sync::Arc::clone(ctx.study.world.atlas());
+    let study_mask = ctx.study.mask.clone();
+    out.push(run_sampled("gate/audit_one_proxy", samples, |b| {
+        b.iter(|| {
+            let server = atlas::LandmarkServer::new(
+                &ctx.study.constellation,
+                &ctx.study.calibration,
+                &atlas,
+            );
+            let proxy_ctx = ProxyContext::establish(
+                ctx.study.world.network_mut(),
+                client,
+                proxy.node,
+                0.5,
+                4,
+            )
+            .expect("tunnel up");
+            let mut prober = ProxyProber {
+                ctx: proxy_ctx,
+                attempts: 2,
+            };
+            let mut rng = StdRng::seed_from_u64(7);
+            let two_phase =
+                run_two_phase(ctx.study.world.network_mut(), &server, &mut prober, &mut rng)
+                    .expect("measured");
+            let prediction = CbgPlusPlus.locate(&two_phase.observations, &study_mask);
+            black_box(assess_claim(&atlas, &prediction.region, proxy.claimed))
+        })
+    }));
+
+    out
+}
+
+/// Measure the smoke suite `passes` times and keep, per bench, the
+/// middle of the per-pass medians. A single pass is exposed to whole-run
+/// machine-state swings (frequency scaling, cache pressure from a
+/// sibling job); the median of several passes centres the committed
+/// baseline so the gate's tolerance band covers the real spread.
+pub fn measure_baseline(samples: usize, passes: usize) -> Vec<Sampled> {
+    let mut runs: Vec<Vec<Sampled>> =
+        (0..passes.max(1)).map(|_| smoke_suite(samples)).collect();
+    let mut out = runs.remove(0);
+    for (i, s) in out.iter_mut().enumerate() {
+        let mut medians: Vec<f64> = std::iter::once(s.median_ns)
+            .chain(runs.iter().map(|r| r[i].median_ns))
+            .collect();
+        medians.sort_by(f64::total_cmp);
+        s.median_ns = medians[medians.len() / 2];
+    }
+    out
+}
+
+/// How one measured bench fared against the baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within tolerance of the baseline median.
+    Pass,
+    /// Median shrank past the tolerance — worth refreshing the baseline.
+    Improved,
+    /// Median grew past the tolerance.
+    Regressed,
+    /// The baseline has no entry under this name.
+    MissingBaseline,
+}
+
+/// One row of the gate's comparison report.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Bench identifier.
+    pub name: String,
+    /// Committed baseline median (ns), when present.
+    pub baseline_ns: Option<f64>,
+    /// Freshly measured median (ns).
+    pub measured_ns: f64,
+    /// Relative tolerance applied to this entry.
+    pub tolerance: f64,
+    /// The outcome.
+    pub verdict: Verdict,
+}
+
+impl Comparison {
+    /// `measured / baseline`, when a baseline exists and is positive.
+    pub fn ratio(&self) -> Option<f64> {
+        self.baseline_ns
+            .filter(|&b| b > 0.0)
+            .map(|b| self.measured_ns / b)
+    }
+}
+
+/// Compare measured medians against the baseline artifact. Every
+/// measured bench yields exactly one [`Comparison`]; baseline entries
+/// that were not re-measured are ignored (the smoke suite may be a
+/// subset of what `--update` recorded).
+pub fn compare(
+    baseline: &BenchArtifact,
+    measured: &[Sampled],
+    global_tolerance: f64,
+) -> Vec<Comparison> {
+    measured
+        .iter()
+        .map(|s| {
+            let entry = baseline.results.iter().find(|r| r.name == s.name);
+            let tolerance = entry
+                .and_then(|r| r.tolerance)
+                .unwrap_or(global_tolerance);
+            let (baseline_ns, verdict) = match entry {
+                None => (None, Verdict::MissingBaseline),
+                Some(r) if r.median_ns <= 0.0 => (Some(r.median_ns), Verdict::MissingBaseline),
+                Some(r) => {
+                    let ratio = s.median_ns / r.median_ns;
+                    let verdict = if ratio > 1.0 + tolerance {
+                        Verdict::Regressed
+                    } else if ratio < 1.0 - tolerance {
+                        Verdict::Improved
+                    } else {
+                        Verdict::Pass
+                    };
+                    (Some(r.median_ns), verdict)
+                }
+            };
+            Comparison {
+                name: s.name.clone(),
+                baseline_ns,
+                measured_ns: s.median_ns,
+                tolerance,
+                verdict,
+            }
+        })
+        .collect()
+}
+
+/// Render the comparison as an aligned text table, one row per bench.
+pub fn render_comparisons(rows: &[Comparison]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for c in rows {
+        let baseline = c
+            .baseline_ns
+            .map(|b| format!("{b:.0} ns"))
+            .unwrap_or_else(|| "(none)".into());
+        let ratio = c
+            .ratio()
+            .map(|r| format!("{r:+.0}%", r = (r - 1.0) * 100.0))
+            .unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            out,
+            "{:<28} baseline {:>12}  measured {:>10.0} ns  delta {:>6}  tol ±{:.0}%  {:?}",
+            c.name,
+            baseline,
+            c.measured_ns,
+            ratio,
+            c.tolerance * 100.0,
+            c.verdict,
+        );
+    }
+    out
+}
+
+/// Build the baseline artifact `--update` writes: the measured suite
+/// with the per-entry tolerances from [`suite_tolerance`] attached.
+pub fn baseline_from(measured: &[Sampled], threads: u64, git: Option<String>) -> BenchArtifact {
+    BenchArtifact {
+        group: GATE_GROUP.to_string(),
+        generated_by: "perf_gate".to_string(),
+        threads,
+        git,
+        counters: Vec::new(),
+        wall_counters: Vec::new(),
+        results: measured
+            .iter()
+            .map(|s| {
+                let mut rec = BenchRecord::from(s);
+                rec.tolerance = suite_tolerance(&s.name);
+                rec
+            })
+            .collect(),
+    }
+}
+
+/// A copy of the measured suite with every median halved: a synthetic
+/// "the past was 2× faster" baseline. Comparing the real measurements
+/// against it must flag **every** entry as regressed — that is the
+/// gate's self-test, and it holds on any machine because both sides of
+/// the comparison come from the same run.
+pub fn doctored_baseline(measured: &[Sampled]) -> BenchArtifact {
+    let mut art = baseline_from(measured, 0, None);
+    for rec in &mut art.results {
+        rec.median_ns /= 2.0;
+        // Halving is a 2× ratio; keep budgets below 100 % so even the
+        // loose audit entry must trip.
+        rec.tolerance = rec.tolerance.filter(|t| *t < 1.0);
+    }
+    art
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sampled(name: &str, median: f64) -> Sampled {
+        Sampled {
+            name: name.into(),
+            median_ns: median,
+            p10_ns: median,
+            p90_ns: median,
+            iters_per_sample: 1,
+            samples: 3,
+        }
+    }
+
+    fn baseline(entries: &[(&str, f64, Option<f64>)]) -> BenchArtifact {
+        BenchArtifact {
+            group: GATE_GROUP.into(),
+            results: entries
+                .iter()
+                .map(|(name, median, tol)| BenchRecord {
+                    name: (*name).into(),
+                    median_ns: *median,
+                    p10_ns: *median,
+                    p90_ns: *median,
+                    iters_per_sample: 1,
+                    samples: 3,
+                    tolerance: *tol,
+                })
+                .collect(),
+            ..BenchArtifact::default()
+        }
+    }
+
+    #[test]
+    fn within_tolerance_passes_and_2x_regression_is_caught() {
+        let base = baseline(&[("gate/a", 1000.0, None), ("gate/b", 1000.0, None)]);
+        let measured = [sampled("gate/a", 1100.0), sampled("gate/b", 2000.0)];
+        let rows = compare(&base, &measured, 0.30);
+        assert_eq!(rows[0].verdict, Verdict::Pass);
+        assert_eq!(rows[1].verdict, Verdict::Regressed);
+        assert!((rows[1].ratio().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_entry_tolerance_overrides_the_global_default() {
+        // +50 % fails at the global 30 % but passes a per-entry 60 %.
+        let strict = baseline(&[("gate/a", 1000.0, None)]);
+        let loose = baseline(&[("gate/a", 1000.0, Some(0.60))]);
+        let measured = [sampled("gate/a", 1500.0)];
+        assert_eq!(compare(&strict, &measured, 0.30)[0].verdict, Verdict::Regressed);
+        assert_eq!(compare(&loose, &measured, 0.30)[0].verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn missing_and_nonpositive_baselines_are_flagged() {
+        let base = baseline(&[("gate/zero", 0.0, None)]);
+        let measured = [sampled("gate/zero", 10.0), sampled("gate/new", 10.0)];
+        let rows = compare(&base, &measured, 0.30);
+        assert_eq!(rows[0].verdict, Verdict::MissingBaseline);
+        assert_eq!(rows[1].verdict, Verdict::MissingBaseline);
+        assert!(rows[1].ratio().is_none());
+    }
+
+    #[test]
+    fn large_improvements_are_reported_not_failed() {
+        let base = baseline(&[("gate/a", 1000.0, None)]);
+        let rows = compare(&base, &[sampled("gate/a", 500.0)], 0.30);
+        assert_eq!(rows[0].verdict, Verdict::Improved);
+    }
+
+    #[test]
+    fn doctored_baseline_trips_every_entry() {
+        let measured = [
+            sampled("gate/a", 1000.0),
+            sampled("gate/audit_one_proxy", 5000.0),
+        ];
+        let doctored = doctored_baseline(&measured);
+        let rows = compare(&doctored, &measured, default_tolerance());
+        assert!(rows.iter().all(|c| c.verdict == Verdict::Regressed));
+    }
+
+    #[test]
+    fn smoke_suite_measures_every_gate_bench() {
+        let suite = smoke_suite(2);
+        let names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "gate/cap_raster",
+                "gate/disk_intersect",
+                "gate/counting_sweep",
+                "gate/cache_hit",
+                "gate/audit_one_proxy",
+            ]
+        );
+        assert!(suite.iter().all(|s| s.median_ns > 0.0));
+    }
+
+    #[test]
+    fn render_names_each_row() {
+        let base = baseline(&[("gate/a", 1000.0, None)]);
+        let rows = compare(&base, &[sampled("gate/a", 2000.0)], 0.30);
+        let text = render_comparisons(&rows);
+        assert!(text.contains("gate/a"));
+        assert!(text.contains("Regressed"));
+        assert!(text.contains("+100%"));
+    }
+}

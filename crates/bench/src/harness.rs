@@ -12,12 +12,36 @@
 //! * take `sample_size` samples (default 50) and report the median,
 //!   10th- and 90th-percentile per-iteration time.
 //!
-//! Results print to stdout and are appended to
-//! `bench_output/<bench-binary>.txt` (directory overridable via the
-//! `BENCH_OUTPUT_DIR` environment variable) so figure tooling and CI can
-//! diff them. No statistical outlier rejection is attempted — this is a
-//! regression smoke-harness, not a rigorous measurement tool.
+//! ## Sample-count override: `PV_BENCH_SAMPLES`
+//!
+//! Setting the `PV_BENCH_SAMPLES` environment variable overrides *every*
+//! sample count — the default, `--sample-size`, and per-group
+//! [`BenchmarkGroup::sample_size`] calls alike (clamped to a minimum of
+//! 2). This is the CI smoke mode: `PV_BENCH_SAMPLES=5 cargo bench` runs
+//! the full suite in seconds with noisier numbers, while local runs
+//! without the variable keep the full 50-sample statistics.
+//!
+//! ## Output files
+//!
+//! Results print to stdout and land in `bench_output/` (directory
+//! overridable via the `BENCH_OUTPUT_DIR` environment variable):
+//!
+//! * `<bench-binary>.txt` — one human-readable line per bench. The file
+//!   is **merged keyed by bench name**: re-running a bench (even a
+//!   `cargo bench -- <filter>` subset) replaces that bench's previous
+//!   line in place and leaves the others, so the report always reflects
+//!   each bench's latest run exactly once.
+//! * `BENCH_<group>.json` — a machine-readable
+//!   [`BenchArtifact`](crate::artifact::BenchArtifact) per bench group
+//!   (median/p10/p90 ns, iteration counts, thread count, `git describe`
+//!   when available, and recorder counters when the group captured one
+//!   via [`BenchmarkGroup::capture_recorder`]). Merged the same way.
+//!
+//! No statistical outlier rejection is attempted — this is a regression
+//! smoke-harness, not a rigorous measurement tool.
 
+use crate::artifact::{BenchArtifact, BenchRecord};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -150,6 +174,8 @@ pub struct Criterion {
     sample_size: usize,
     filter: Option<String>,
     results: Vec<Sampled>,
+    /// Recorders captured per group for the JSON artifacts.
+    captured: Vec<(String, obs::Recorder)>,
 }
 
 impl Default for Criterion {
@@ -158,8 +184,17 @@ impl Default for Criterion {
             sample_size: 50,
             filter: None,
             results: Vec::new(),
+            captured: Vec::new(),
         }
     }
+}
+
+/// The `PV_BENCH_SAMPLES` override, when set to a usable number.
+pub fn env_sample_override() -> Option<usize> {
+    std::env::var("PV_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.max(2))
 }
 
 impl Criterion {
@@ -205,6 +240,7 @@ impl Criterion {
         BenchmarkGroup {
             sample_size: self.sample_size,
             name: name.into(),
+            recorder: None,
             criterion: self,
         }
     }
@@ -218,29 +254,22 @@ impl Criterion {
                 return;
             }
         }
-        let mut bencher = Bencher::new(sample_size);
-        f(&mut bencher);
-        let summary = summarize(&name, &bencher);
-        println!("{}", report_line(&summary));
-        self.results.push(summary);
+        // The env override is the CI smoke switch: it wins over both the
+        // default and any per-group sample_size() call.
+        let sample_size = env_sample_override().unwrap_or(sample_size);
+        self.results.push(run_sampled(&name, sample_size, f));
+        println!("{}", report_line(self.results.last().expect("just pushed")));
     }
 
-    /// Print the trailer and write the report file. Called by
+    /// Print the trailer and write the report files (text + JSON
+    /// artifacts), merging into any existing files keyed by bench name
+    /// so each bench appears exactly once with its latest numbers —
+    /// filtered runs update just their subset. Called by
     /// `criterion_main!` after every group has run.
     pub fn finalize(&mut self) {
         if self.results.is_empty() {
             println!("(no benchmarks matched)");
             return;
-        }
-        if self.filter.is_some() {
-            // A filtered run covers a subset; writing it out would
-            // clobber the full report with a partial one.
-            println!("(filtered run: report file left untouched)");
-            return;
-        }
-        let mut report = String::new();
-        for s in &self.results {
-            let _ = writeln!(report, "{}", report_line(s));
         }
         // `cargo bench` runs the binary with cwd = the bench crate, so
         // anchor the default on the workspace root, next to the figure
@@ -248,31 +277,129 @@ impl Criterion {
         let dir = std::env::var("BENCH_OUTPUT_DIR").unwrap_or_else(|_| {
             concat!(env!("CARGO_MANIFEST_DIR"), "/../../bench_output").into()
         });
-        let stem = std::env::args()
-            .next()
-            .and_then(|p| {
-                std::path::Path::new(&p)
-                    .file_stem()
-                    .map(|s| s.to_string_lossy().into_owned())
-            })
-            // Bench executables get a `-<hash>` suffix; strip it.
-            .map(|s| match s.rfind('-') {
-                Some(i) if s[i + 1..].chars().all(|c| c.is_ascii_hexdigit()) => {
-                    s[..i].to_string()
-                }
-                _ => s,
-            })
-            .unwrap_or_else(|| "bench".into());
-        let path = std::path::Path::new(&dir).join(format!("{stem}.txt"));
-        if std::fs::create_dir_all(&dir)
-            .and_then(|()| std::fs::write(&path, &report))
-            .is_err()
-        {
-            eprintln!("warning: could not write bench report to {}", path.display());
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("warning: could not create {dir}: {e}");
+            return;
+        }
+        let stem = bench_binary_stem();
+
+        // --- text report, merged keyed by bench name --------------------
+        let txt_path = std::path::Path::new(&dir).join(format!("{stem}.txt"));
+        let existing = std::fs::read_to_string(&txt_path).unwrap_or_default();
+        let merged = merge_report_lines(&existing, &self.results);
+        if std::fs::write(&txt_path, merged).is_err() {
+            eprintln!("warning: could not write bench report to {}", txt_path.display());
         } else {
-            println!("report written to {}", path.display());
+            println!("report written to {}", txt_path.display());
+        }
+
+        // --- JSON artifacts, one per bench group ------------------------
+        let mut by_group: BTreeMap<String, Vec<BenchRecord>> = BTreeMap::new();
+        for s in &self.results {
+            let group = s.name.split('/').next().unwrap_or(&s.name).to_string();
+            by_group.entry(group).or_default().push(BenchRecord::from(s));
+        }
+        let threads = parallel::configured_threads() as u64;
+        let git = git_describe();
+        for (group, records) in by_group {
+            let path =
+                std::path::Path::new(&dir).join(BenchArtifact::file_name(&group));
+            let mut artifact = std::fs::read_to_string(&path)
+                .ok()
+                .and_then(|text| BenchArtifact::parse(&text).ok())
+                .unwrap_or_default();
+            artifact.group = group.clone();
+            artifact.generated_by = stem.clone();
+            artifact.threads = threads;
+            artifact.git.clone_from(&git);
+            if let Some((_, rec)) = self.captured.iter().find(|(g, _)| *g == group) {
+                artifact.counters = rec
+                    .counters()
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect();
+                artifact.wall_counters = rec
+                    .wall_counters()
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect();
+            }
+            artifact.merge_results(&records);
+            if std::fs::write(&path, artifact.to_json()).is_err() {
+                eprintln!("warning: could not write {}", path.display());
+            } else {
+                println!("artifact written to {}", path.display());
+            }
         }
     }
+}
+
+/// This bench binary's name with cargo's `-<hash>` suffix stripped.
+fn bench_binary_stem() -> String {
+    std::env::args()
+        .next()
+        .and_then(|p| {
+            std::path::Path::new(&p)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+        })
+        .map(|s| match s.rfind('-') {
+            Some(i) if s[i + 1..].chars().all(|c| c.is_ascii_hexdigit()) => {
+                s[..i].to_string()
+            }
+            _ => s,
+        })
+        .unwrap_or_else(|| "bench".into())
+}
+
+/// `git describe --always --dirty` at the workspace root, if git and a
+/// checkout are available.
+fn git_describe() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .current_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    (!text.is_empty()).then_some(text)
+}
+
+/// Merge fresh results into an existing text report: lines whose bench
+/// name matches a fresh result are replaced in place, other lines are
+/// kept, and brand-new benches append at the end — so the file always
+/// holds each bench's latest run exactly once, never duplicates.
+fn merge_report_lines(existing: &str, fresh: &[Sampled]) -> String {
+    let mut remaining: Vec<&Sampled> = fresh.iter().collect();
+    let mut out = String::new();
+    for line in existing.lines() {
+        let key = line.split(" median ").next().unwrap_or(line).trim_end();
+        match remaining.iter().position(|s| s.name == key) {
+            Some(i) => {
+                let _ = writeln!(out, "{}", report_line(remaining.remove(i)));
+            }
+            None => {
+                let _ = writeln!(out, "{line}");
+            }
+        }
+    }
+    for s in remaining {
+        let _ = writeln!(out, "{}", report_line(s));
+    }
+    out
+}
+
+/// Measure one routine outside a `Criterion` run: used by the perf gate
+/// to re-run its smoke suite without touching the report files.
+pub fn run_sampled<F>(name: &str, sample_size: usize, f: F) -> Sampled
+where
+    F: FnOnce(&mut Bencher),
+{
+    let mut bencher = Bencher::new(sample_size.max(2));
+    f(&mut bencher);
+    summarize(name, &bencher)
 }
 
 /// A named batch of benchmarks sharing a sample size, mirroring
@@ -281,12 +408,23 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    recorder: Option<obs::Recorder>,
 }
 
 impl BenchmarkGroup<'_> {
     /// Override the number of timed samples for this group.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(2);
+        self
+    }
+
+    /// Attach a recorder whose counters should land in this group's
+    /// `BENCH_<group>.json` artifact. The snapshot is taken at
+    /// `finalize`, after every bench in the group has run, so counters
+    /// accumulated during the benches (probe counts, cache hits) appear
+    /// in the artifact alongside the timings.
+    pub fn capture_recorder(&mut self, rec: &obs::Recorder) -> &mut Self {
+        self.recorder = Some(rec.clone());
         self
     }
 
@@ -301,8 +439,13 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// End the group. Nothing to flush here; kept for API parity.
-    pub fn finish(self) {}
+    /// End the group, handing any captured recorder to the parent
+    /// `Criterion` for the JSON artifact.
+    pub fn finish(self) {
+        if let Some(rec) = self.recorder {
+            self.criterion.captured.push((self.name, rec));
+        }
+    }
 }
 
 fn summarize(name: &str, bencher: &Bencher) -> Sampled {
@@ -437,6 +580,7 @@ mod tests {
             sample_size: 3,
             filter: Some("keep".into()),
             results: Vec::new(),
+            captured: Vec::new(),
         };
         {
             let mut g = c.benchmark_group("g");
@@ -448,5 +592,63 @@ mod tests {
         assert_eq!(c.results.len(), 1);
         assert_eq!(c.results[0].name, "g/keep-me");
         assert_eq!(c.results[0].samples, 2);
+    }
+
+    fn sampled(name: &str, median: f64) -> Sampled {
+        Sampled {
+            name: name.into(),
+            median_ns: median,
+            p10_ns: median * 0.9,
+            p90_ns: median * 1.1,
+            iters_per_sample: 10,
+            samples: 5,
+        }
+    }
+
+    #[test]
+    fn merge_replaces_matching_lines_in_place_and_appends_new() {
+        let old = format!(
+            "{}\n{}\n",
+            report_line(&sampled("g/alpha", 100.0)),
+            report_line(&sampled("g/beta", 200.0)),
+        );
+        let fresh = [sampled("g/beta", 999.0), sampled("g/gamma", 300.0)];
+        let merged = merge_report_lines(&old, &fresh);
+        let lines: Vec<&str> = merged.lines().collect();
+        // alpha untouched, beta replaced in place, gamma appended — no dupes.
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("g/alpha"));
+        assert!(lines[1].starts_with("g/beta") && lines[1].contains("999.0 ns"));
+        assert!(lines[2].starts_with("g/gamma"));
+        // Re-merging the same results is idempotent.
+        assert_eq!(merge_report_lines(&merged, &fresh), merged);
+    }
+
+    #[test]
+    fn merge_into_empty_report_just_lists_fresh_results() {
+        let fresh = [sampled("solo", 42.0)];
+        let merged = merge_report_lines("", &fresh);
+        assert_eq!(merged.lines().count(), 1);
+        assert!(merged.starts_with("solo"));
+    }
+
+    #[test]
+    fn finished_group_hands_captured_recorder_to_criterion() {
+        let mut c = Criterion {
+            sample_size: 2,
+            filter: None,
+            results: Vec::new(),
+            captured: Vec::new(),
+        };
+        let rec = obs::Recorder::new(obs::Level::Counters);
+        rec.count("probes", 7);
+        {
+            let mut g = c.benchmark_group("cap");
+            g.capture_recorder(&rec);
+            g.finish();
+        }
+        assert_eq!(c.captured.len(), 1);
+        assert_eq!(c.captured[0].0, "cap");
+        assert_eq!(c.captured[0].1.counter("probes"), 7);
     }
 }

@@ -4,7 +4,9 @@
 //! benches: study/crowd context builders at three scales, plus small
 //! text-rendering helpers (ASCII CDFs, aligned tables).
 
+pub mod artifact;
 pub mod figures;
+pub mod gate;
 pub mod harness;
 pub mod render;
 pub mod scale;

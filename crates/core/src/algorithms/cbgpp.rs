@@ -20,9 +20,7 @@
 use crate::algorithms::{Geolocator, Prediction};
 use crate::delay_model::CbgModel;
 use crate::multilateration::subset::constraint_overlaps_region;
-use crate::multilateration::{
-    max_consistent_subset, max_consistent_subset_cached, DiskCache, RingConstraint,
-};
+use crate::multilateration::{max_consistent_subset_profiled, DiskCache, RingConstraint};
 use crate::observation::Observation;
 use geokit::Region;
 
@@ -120,14 +118,14 @@ impl CbgPlusPlusVariant {
         cache: Option<&DiskCache>,
         rec: Option<&obs::Recorder>,
     ) -> Prediction {
-        let subset = |constraints: &[RingConstraint], m: &Region| match cache {
-            Some(c) => max_consistent_subset_cached(constraints, m, c),
-            None => max_consistent_subset(constraints, m),
+        let subset = |constraints: &[RingConstraint], m: &Region| {
+            max_consistent_subset_profiled(constraints, m, cache, rec)
         };
         let slack = crate::multilateration::constraint::grid_slack_km(mask.grid());
 
         let search_mask: Region;
         let baseline_region: Option<&Region> = if self.use_baseline_filter {
+            let baseline_span = rec.map(|r| r.profile_span("cbgpp.baseline"));
             // Baseline disks: pure physics, cannot underestimate.
             let baseline: Vec<RingConstraint> = observations
                 .iter()
@@ -140,6 +138,7 @@ impl CbgPlusPlusVariant {
                 })
                 .collect();
             let base = subset(&baseline, mask);
+            drop(baseline_span);
             search_mask = base.region;
             if let Some(rec) = rec {
                 rec.record("alg.baseline_cells", u64::from(search_mask.cell_count()));
@@ -176,6 +175,9 @@ impl CbgPlusPlusVariant {
         };
         let effective_mask = baseline_region.unwrap_or(mask);
 
+        // Covers the bestline build + overlap filter + subset search
+        // (early returns drop it at scope exit).
+        let _bestline_span = rec.map(|r| r.profile_span("cbgpp.bestline"));
         let bestline: Vec<RingConstraint> = observations
             .iter()
             .map(|o| {

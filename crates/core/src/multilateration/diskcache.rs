@@ -73,6 +73,10 @@ pub struct DiskCache {
     map: RwLock<HashMap<DiskKey, Arc<Region>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Wall-clock profiling sink (off by default). Lookup and rasterize
+    /// spans land here, nesting under whatever span the calling thread
+    /// has open — telemetry only, never deterministic output.
+    obs: obs::Recorder,
 }
 
 impl DiskCache {
@@ -85,7 +89,15 @@ impl DiskCache {
             map: RwLock::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            obs: obs::Recorder::off(),
         }
+    }
+
+    /// Attach a profiling recorder: subsequent lookups time themselves
+    /// as `cache.lookup` / `cache.rasterize` profile spans into it. Call
+    /// before sharing the cache across threads.
+    pub fn set_recorder(&mut self, rec: obs::Recorder) {
+        self.obs = rec;
     }
 
     /// The grid the cached disks live on.
@@ -121,6 +133,7 @@ impl DiskCache {
     }
 
     fn disk_of_cells(&self, center: &GeoPoint, cells: u32) -> Arc<Region> {
+        let _lookup_span = self.obs.profile_span("cache.lookup");
         let key = DiskKey {
             lat_bits: center.lat().to_bits(),
             lon_bits: center.lon().to_bits(),
@@ -131,8 +144,11 @@ impl DiskCache {
             return Arc::clone(region);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let cap = SphericalCap::new(*center, f64::from(cells) * self.cell_km);
-        let region = Arc::new(Region::from_cap(&self.grid, &cap));
+        let region = {
+            let _raster_span = self.obs.profile_span("cache.rasterize");
+            let cap = SphericalCap::new(*center, f64::from(cells) * self.cell_km);
+            Arc::new(Region::from_cap(&self.grid, &cap))
+        };
         let mut map = self.map.write().expect("disk cache poisoned");
         // A racing worker may have inserted meanwhile; both rasterized
         // the same pure function of the key, so either value is fine.

@@ -9,4 +9,7 @@ pub mod subset;
 pub use bayes::{bayes_region, BayesOutput};
 pub use constraint::{intersect_constraints, intersect_constraints_cached, RingConstraint};
 pub use diskcache::{DiskCache, DiskCacheStats};
-pub use subset::{max_consistent_subset, max_consistent_subset_cached, SubsetResult};
+pub use subset::{
+    max_consistent_subset, max_consistent_subset_cached, max_consistent_subset_profiled,
+    SubsetResult,
+};

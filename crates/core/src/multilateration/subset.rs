@@ -33,25 +33,7 @@ pub struct SubsetResult {
 ///
 /// With no constraints, the whole mask is trivially consistent.
 pub fn max_consistent_subset(constraints: &[RingConstraint], mask: &Region) -> SubsetResult {
-    let total = constraints.len();
-    if total == 0 {
-        return SubsetResult {
-            region: mask.clone(),
-            satisfied: 0,
-            total,
-        };
-    }
-
-    // Fast path: all constraints already agree somewhere.
-    let all = intersect_constraints(constraints, mask);
-    if !all.is_empty() {
-        return SubsetResult {
-            region: all,
-            satisfied: total,
-            total,
-        };
-    }
-    counting_sweep(constraints, mask)
+    max_consistent_subset_profiled(constraints, mask, None, None)
 }
 
 /// [`max_consistent_subset`] with the fast path drawing disks from a
@@ -64,6 +46,20 @@ pub fn max_consistent_subset_cached(
     mask: &Region,
     cache: &crate::multilateration::DiskCache,
 ) -> SubsetResult {
+    max_consistent_subset_profiled(constraints, mask, Some(cache), None)
+}
+
+/// The fully-parameterized subset search: optional shared disk cache for
+/// the fast-path intersection, optional recorder for wall-clock profile
+/// spans (`subset.intersect` around the full-set intersection,
+/// `subset.counting_sweep` around the inconsistent-set sweep). Both
+/// `None`s reduce to [`max_consistent_subset`] exactly.
+pub fn max_consistent_subset_profiled(
+    constraints: &[RingConstraint],
+    mask: &Region,
+    cache: Option<&crate::multilateration::DiskCache>,
+    rec: Option<&obs::Recorder>,
+) -> SubsetResult {
     let total = constraints.len();
     if total == 0 {
         return SubsetResult {
@@ -72,11 +68,19 @@ pub fn max_consistent_subset_cached(
             total,
         };
     }
-    let all = crate::multilateration::constraint::intersect_constraints_cached(
-        constraints,
-        mask,
-        cache,
-    );
+
+    // Fast path: all constraints already agree somewhere.
+    let all = {
+        let _span = rec.map(|r| r.profile_span("subset.intersect"));
+        match cache {
+            Some(cache) => crate::multilateration::constraint::intersect_constraints_cached(
+                constraints,
+                mask,
+                cache,
+            ),
+            None => intersect_constraints(constraints, mask),
+        }
+    };
     if !all.is_empty() {
         return SubsetResult {
             region: all,
@@ -84,6 +88,7 @@ pub fn max_consistent_subset_cached(
             total,
         };
     }
+    let _span = rec.map(|r| r.profile_span("subset.counting_sweep"));
     counting_sweep(constraints, mask)
 }
 

@@ -204,6 +204,7 @@ impl<P> ProbeScheduler<P> {
         for attempt in 0..self.policy.max_attempts.max(1) {
             if attempt > 0 {
                 self.diagnostics.retries += 1;
+                let _backoff_span = network.recorder().profile_span("rel.backoff");
                 let wait = self.backoff_ms(attempt - 1);
                 network.advance(SimDuration::from_ms(wait));
                 let rec = network.recorder();
@@ -248,6 +249,7 @@ impl<P> ProbeScheduler<P> {
 
 impl<P: RttProber> RttProber for ProbeScheduler<P> {
     fn probe(&mut self, network: &mut Network, landmark: NodeId) -> Option<f64> {
+        let _prof = network.recorder().profile_span("rel.probe");
         let attempts_before = self.diagnostics.attempts;
         let result = (|| {
             if let Some(ms) = self.try_method(network, landmark, false) {

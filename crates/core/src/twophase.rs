@@ -221,6 +221,7 @@ fn two_phase_inner<P: RttProber, R: Rng + ?Sized>(
             vec![("anchors", phase1_total.into())],
         );
     }
+    let phase1_span = network.recorder().profile_span("twophase.phase1");
     let mut best: Option<(f64, Continent)> = None;
     let mut phase1_obs: Vec<(usize, f64)> = Vec::new();
     for id in phase1 {
@@ -233,6 +234,7 @@ fn two_phase_inner<P: RttProber, R: Rng + ?Sized>(
             best = Some((rtt, continent));
         }
     }
+    drop(phase1_span);
     let phase1_responsive = phase1_obs.len();
     let quorum_met = phase1_responsive >= cfg.phase1_quorum.max(1);
     {
@@ -272,6 +274,7 @@ fn two_phase_inner<P: RttProber, R: Rng + ?Sized>(
                 vec![("continent", continent.name().into())],
             );
         }
+        let _phase2_span = network.recorder().profile_span("twophase.phase2");
         for (id, rtt) in phase1_obs {
             if continent_of(id) == continent {
                 observations.push(make_observation(server, id, rtt));
@@ -329,6 +332,7 @@ fn two_phase_inner<P: RttProber, R: Rng + ?Sized>(
             );
         }
     }
+    let _sweep_span = network.recorder().profile_span("twophase.sweep");
     for &(id, rtt) in &phase1_obs {
         observations.push(make_observation(server, id, rtt));
         seen[id] = true;

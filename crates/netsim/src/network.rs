@@ -175,6 +175,7 @@ impl Network {
         ttl: Option<u32>,
     ) -> Option<(SimDuration, PacketKind)> {
         let start = self.now;
+        let _prof = self.obs.profile_span("net.probe");
         let kind_label = kind.label();
         // For tunneled probes the packet's `dst` is the proxy; the node
         // actually being measured is the tunnel target. Surface it so

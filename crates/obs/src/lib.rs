@@ -24,6 +24,20 @@
 //!   real performance telemetry, rendered in their own section and
 //!   **never** included in determinism diffs.
 //!
+//! ## Hierarchical profiling
+//!
+//! The wall compartment also carries a span *tree*:
+//! [`Recorder::profile_span`] tracks parent/child relationships through
+//! a thread-local stack, so nested spans accumulate under a
+//! `/`-separated path (`audit.proxy/audit.locate/subset.intersect`).
+//! Each path aggregates call count, cumulative nanoseconds, and *self*
+//! nanoseconds (cumulative minus time attributed to child spans), and
+//! [`Recorder::render_profile`] renders the whole thing as an indented
+//! flamegraph-style text tree. Profile data merges additively across
+//! [`fork`](Recorder::fork)/[`absorb`](Recorder::absorb), lives entirely
+//! on the wall-clock side, and adds nothing to the deterministic
+//! compartment — the cross-thread determinism gate is unaffected.
+//!
 //! ## Fork/merge rule
 //!
 //! A recorder handle is a shared sink: cloning it gives another handle
@@ -36,8 +50,10 @@
 //! events are concatenated in absorb order — which is why absorb order
 //! must be deterministic.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -293,6 +309,28 @@ impl WallStat {
     }
 }
 
+/// Aggregated wall-clock timing for one profile-tree path (see
+/// [`Recorder::profile_span`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProfileStat {
+    /// Completed spans at this path.
+    pub count: u64,
+    /// Cumulative wall time, nanoseconds: the span's whole lifetime,
+    /// children included.
+    pub cum_ns: u128,
+    /// Self wall time, nanoseconds: cumulative minus time spent inside
+    /// child profile spans.
+    pub self_ns: u128,
+}
+
+impl ProfileStat {
+    fn merge(&mut self, other: &ProfileStat) {
+        self.count += other.count;
+        self.cum_ns += other.cum_ns;
+        self.self_ns += other.self_ns;
+    }
+}
+
 #[derive(Debug, Default)]
 struct Buffers {
     now_ns: u64,
@@ -301,7 +339,29 @@ struct Buffers {
     hists: BTreeMap<&'static str, Hist>,
     wall_spans: BTreeMap<&'static str, WallStat>,
     wall_counters: BTreeMap<&'static str, u64>,
+    profile: BTreeMap<String, ProfileStat>,
 }
+
+/// One open profile span on the current thread's stack. The frame keeps
+/// its own sink: nested spans may come from *different* recorders (a
+/// shared cache's recorder under a worker's forked recorder), and each
+/// frame's timing must land in the recorder that opened it.
+struct ProfFrame {
+    token: u64,
+    sink: Arc<Mutex<Buffers>>,
+    path: String,
+    start: Instant,
+    /// Nanoseconds already attributed to completed child spans.
+    child_ns: u128,
+}
+
+thread_local! {
+    static PROF_STACK: RefCell<Vec<ProfFrame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Process-unique tokens so a [`ProfileSpan`] guard can recognise its
+/// own frame even after out-of-order drops force-closed it.
+static PROF_TOKEN: AtomicU64 = AtomicU64::new(1);
 
 /// The shared observability sink.
 ///
@@ -391,6 +451,9 @@ impl Recorder {
         }
         for (k, v) in taken.wall_counters {
             *inner.wall_counters.entry(k).or_insert(0) += v;
+        }
+        for (k, p) in taken.profile {
+            inner.profile.entry(k).or_default().merge(&p);
         }
         inner.now_ns = inner.now_ns.max(taken.now_ns);
     }
@@ -574,6 +637,136 @@ impl Recorder {
             .collect()
     }
 
+    /// Start a hierarchical wall-clock profile span named `name`.
+    ///
+    /// The span's position in the tree is determined by the spans
+    /// already open *on this thread*: its path is the enclosing span's
+    /// path plus `/name`, or just `name` at the top of the stack. When
+    /// the returned guard drops, the elapsed time is added to that
+    /// path's [`ProfileStat`] — cumulative in full, self minus whatever
+    /// completed child spans already claimed — and the elapsed time is
+    /// credited to the parent frame's child tally.
+    ///
+    /// Guards are expected to drop in reverse open order (ordinary
+    /// scoping guarantees this). If an outer guard drops while inner
+    /// guards are still open, the inner frames are force-closed and
+    /// accounted at that moment; the leftover inner guards then drop as
+    /// no-ops. A span opened on one recorder may nest under a span from
+    /// a *different* recorder — each frame records into the recorder
+    /// that opened it, and the paths knit back together after
+    /// [`absorb`](Recorder::absorb).
+    ///
+    /// No-op (no allocation, no thread-local touch) at [`Level::Off`].
+    pub fn profile_span(&self, name: &'static str) -> ProfileSpan {
+        self.profile_span_impl(name, false)
+    }
+
+    /// Like [`profile_span`](Recorder::profile_span), but the span's
+    /// path is always just `name`, even when other spans are open on
+    /// this thread — it starts a fresh root in the tree. Use for work
+    /// units that should aggregate identically whether they ran inline
+    /// on the coordinator (1 thread) or on a worker (the audit's
+    /// per-proxy span). Enclosing spans still treat its elapsed time as
+    /// child time for their own self/cumulative split.
+    pub fn profile_span_root(&self, name: &'static str) -> ProfileSpan {
+        self.profile_span_impl(name, true)
+    }
+
+    fn profile_span_impl(&self, name: &'static str, root: bool) -> ProfileSpan {
+        if self.level == Level::Off {
+            return ProfileSpan { token: None };
+        }
+        let token = PROF_TOKEN.fetch_add(1, Ordering::Relaxed);
+        PROF_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(top) if !root => format!("{}/{}", top.path, name),
+                _ => name.to_string(),
+            };
+            stack.push(ProfFrame {
+                token,
+                sink: Arc::clone(&self.inner),
+                path,
+                start: Instant::now(),
+                child_ns: 0,
+            });
+        });
+        ProfileSpan { token: Some(token) }
+    }
+
+    /// Snapshot of the aggregated profile tree, sorted by path.
+    pub fn profile(&self) -> Vec<(String, ProfileStat)> {
+        self.lock()
+            .profile
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+
+    /// The aggregated [`ProfileStat`] at `path`, if any span completed
+    /// there.
+    pub fn profile_stat(&self, path: &str) -> Option<ProfileStat> {
+        self.lock().profile.get(path).copied()
+    }
+
+    /// Render the profile tree as an indented flamegraph-style text
+    /// block: one line per path with call count, self time, and
+    /// cumulative time. Multiple roots (e.g. the coordinator's
+    /// `audit.run` next to absorbed workers' `audit.proxy`) render as a
+    /// forest. **Scheduling-dependent by design** — keep out of
+    /// determinism diffs.
+    pub fn render_profile(&self) -> String {
+        #[derive(Default)]
+        struct Node {
+            stat: Option<ProfileStat>,
+            children: BTreeMap<String, Node>,
+        }
+        let mut root = Node::default();
+        {
+            let inner = self.lock();
+            for (path, &stat) in &inner.profile {
+                let mut node = &mut root;
+                for seg in path.split('/') {
+                    node = node.children.entry(seg.to_string()).or_default();
+                }
+                node.stat = Some(stat);
+            }
+        }
+        if root.children.is_empty() {
+            return String::new();
+        }
+        fn render(node: &Node, name: &str, depth: usize, out: &mut String) {
+            let label = format!("{}{}", "  ".repeat(depth), name);
+            match node.stat {
+                Some(s) => {
+                    let _ = writeln!(
+                        out,
+                        "{label:<44} {:>9}  self {:>10}  cum {:>10}",
+                        s.count,
+                        fmt_prof_ns(s.self_ns),
+                        fmt_prof_ns(s.cum_ns)
+                    );
+                }
+                None => {
+                    // A path only seen as a prefix (its own span never
+                    // completed, e.g. still open at render time).
+                    let _ = writeln!(out, "{label:<44} {:>9}  self {:>10}  cum {:>10}", "-", "-", "-");
+                }
+            }
+            for (child_name, child) in &node.children {
+                render(child, child_name, depth + 1, out);
+            }
+        }
+        let mut out = format!(
+            "{:<44} {:>9}  {:>15}  {:>14}\n",
+            "span path", "count", "self", "cum"
+        );
+        for (name, node) in &root.children {
+            render(node, name, 0, &mut out);
+        }
+        out
+    }
+
     /// Render the wall-clock side (span timings, then wall counters).
     /// **Scheduling-dependent by design** — keep out of determinism
     /// diffs.
@@ -610,6 +803,61 @@ impl Drop for Span {
             e.count += 1;
             e.total_ns += elapsed;
         }
+    }
+}
+
+/// Guard for one hierarchical profile span (see
+/// [`Recorder::profile_span`]). Dropping it closes the span and every
+/// not-yet-closed span opened under it on the same thread.
+pub struct ProfileSpan {
+    token: Option<u64>,
+}
+
+impl Drop for ProfileSpan {
+    fn drop(&mut self) {
+        let Some(token) = self.token.take() else {
+            return;
+        };
+        PROF_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Already force-closed by an enclosing guard's drop (or
+            // opened on another thread, which is a misuse we tolerate).
+            if !stack.iter().any(|f| f.token == token) {
+                return;
+            }
+            loop {
+                let frame = stack.pop().expect("frame present by the check above");
+                let done = frame.token == token;
+                let cum = frame.start.elapsed().as_nanos();
+                let self_ns = cum.saturating_sub(frame.child_ns);
+                {
+                    let mut buf = frame.sink.lock().expect("recorder poisoned");
+                    let e = buf.profile.entry(frame.path).or_default();
+                    e.count += 1;
+                    e.cum_ns += cum;
+                    e.self_ns += self_ns;
+                }
+                if let Some(parent) = stack.last_mut() {
+                    parent.child_ns += cum;
+                }
+                if done {
+                    break;
+                }
+            }
+        });
+    }
+}
+
+/// Compact human formatting for profile nanoseconds.
+fn fmt_prof_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
     }
 }
 
@@ -746,6 +994,195 @@ mod tests {
         assert_eq!(e.field_f64("f"), Some(2.5));
         assert_eq!(e.field_str("s"), Some("x"));
         assert_eq!(e.field_u64("missing"), None);
+    }
+
+    #[test]
+    fn hist_merge_with_disjoint_buckets_keeps_both() {
+        let mut a = Hist::default();
+        a.record(1);
+        a.record(1);
+        let mut b = Hist::default();
+        b.record(1024);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.sum, 1026);
+        assert_eq!((a.min, a.max), (1, 1024));
+        assert_eq!(a.buckets[&1], 2);
+        assert_eq!(a.buckets[&11], 1);
+        // Merging an empty hist is a no-op both ways.
+        let before = a.clone();
+        a.merge(&Hist::default());
+        assert_eq!(a, before);
+        let mut empty = Hist::default();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn hist_empty_mean_and_render() {
+        let h = Hist::default();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.render_line(), "n=0 mean=0.00 min=0 max=0  |");
+    }
+
+    #[test]
+    fn hist_u64_max_lands_in_top_bucket() {
+        let mut h = Hist::default();
+        h.record(u64::MAX);
+        assert_eq!(h.buckets[&64], 1);
+        assert_eq!((h.min, h.max, h.sum), (u64::MAX, u64::MAX, u64::MAX));
+        // The rendered bucket floor is 2^63, which must not overflow.
+        assert!(h.render_line().contains(&format!("{}:1", 1u64 << 63)));
+    }
+
+    #[test]
+    fn wallstat_accumulates_across_spans_and_absorb() {
+        let r = Recorder::new(Level::Counters);
+        drop(r.span("w"));
+        drop(r.span("w"));
+        let child = r.fork();
+        drop(child.span("w"));
+        r.absorb(&child);
+        let stat = r
+            .wall_spans()
+            .into_iter()
+            .find(|(k, _)| *k == "w")
+            .map(|(_, s)| s)
+            .unwrap();
+        assert_eq!(stat.count, 3);
+        let each = WallStat {
+            count: 1,
+            total_ns: 7,
+        };
+        let mut acc = WallStat::default();
+        assert_eq!(acc.mean_ms(), 0.0);
+        for _ in 0..4 {
+            acc.count += each.count;
+            acc.total_ns += each.total_ns;
+        }
+        assert_eq!((acc.count, acc.total_ns), (4, 28));
+    }
+
+    #[test]
+    fn profile_nesting_builds_slash_paths() {
+        let r = Recorder::new(Level::Counters);
+        {
+            let _outer = r.profile_span("outer");
+            for _ in 0..3 {
+                let _inner = r.profile_span("inner");
+            }
+        }
+        let outer = r.profile_stat("outer").unwrap();
+        let inner = r.profile_stat("outer/inner").unwrap();
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 3);
+        assert!(r.profile_stat("inner").is_none(), "inner must nest");
+        // Self + children == cumulative, exactly: outer's child tally is
+        // the sum of the inner spans' cumulative times.
+        assert_eq!(outer.self_ns + inner.cum_ns, outer.cum_ns);
+        assert!(inner.cum_ns <= outer.cum_ns);
+    }
+
+    #[test]
+    fn profile_out_of_order_drop_force_closes_children() {
+        let r = Recorder::new(Level::Counters);
+        let outer = r.profile_span("outer");
+        let inner = r.profile_span("inner");
+        drop(outer); // inner is still open: it gets force-closed here
+        assert_eq!(r.profile_stat("outer").unwrap().count, 1);
+        assert_eq!(r.profile_stat("outer/inner").unwrap().count, 1);
+        drop(inner); // must be a no-op, not a double count
+        assert_eq!(r.profile_stat("outer/inner").unwrap().count, 1);
+        // The stack is clean: a new span roots at the top level again.
+        drop(r.profile_span("fresh"));
+        assert!(r.profile_stat("fresh").is_some());
+    }
+
+    #[test]
+    fn profile_span_root_ignores_the_enclosing_stack() {
+        let r = Recorder::new(Level::Counters);
+        {
+            let _outer = r.profile_span("outer");
+            let _rooted = r.profile_span_root("unit");
+            let _inner = r.profile_span("inner");
+        }
+        // `unit` roots its own tree; `inner` nests under it, and the
+        // enclosing `outer` still counts `unit` as child time.
+        assert!(r.profile_stat("unit").is_some());
+        assert!(r.profile_stat("unit/inner").is_some());
+        assert!(r.profile_stat("outer/unit").is_none());
+        let outer = r.profile_stat("outer").unwrap();
+        let unit = r.profile_stat("unit").unwrap();
+        assert_eq!(outer.self_ns + unit.cum_ns, outer.cum_ns);
+    }
+
+    #[test]
+    fn profile_fork_absorb_merges_additively() {
+        let root = Recorder::new(Level::Events);
+        {
+            let _p = root.profile_span("work");
+        }
+        let child = root.fork();
+        for _ in 0..2 {
+            let _p = child.profile_span("work");
+        }
+        root.absorb(&child);
+        let stat = root.profile_stat("work").unwrap();
+        assert_eq!(stat.count, 3);
+        assert_eq!(child.profile().len(), 0, "child drained by absorb");
+    }
+
+    #[test]
+    fn profile_spans_from_different_recorders_nest_by_thread() {
+        // The shared-cache case: a worker's forked recorder opens the
+        // enclosing span, the cache's own recorder opens the inner one.
+        // Each frame lands in its own recorder, under the thread's path.
+        let worker = Recorder::new(Level::Counters);
+        let cache = Recorder::new(Level::Counters);
+        {
+            let _outer = worker.profile_span("audit.proxy");
+            let _inner = cache.profile_span("cache.lookup");
+        }
+        assert_eq!(worker.profile_stat("audit.proxy").unwrap().count, 1);
+        assert_eq!(
+            cache.profile_stat("audit.proxy/cache.lookup").unwrap().count,
+            1
+        );
+        assert!(worker.profile_stat("audit.proxy/cache.lookup").is_none());
+    }
+
+    #[test]
+    fn profile_off_recorder_is_invisible_to_the_stack() {
+        let on = Recorder::new(Level::Counters);
+        let off = Recorder::off();
+        {
+            let _outer = on.profile_span("outer");
+            let _ghost = off.profile_span("ghost");
+            let _inner = on.profile_span("inner");
+        }
+        assert!(off.profile().is_empty());
+        // The Off span never joined the stack, so "inner" nests
+        // directly under "outer".
+        assert!(on.profile_stat("outer/inner").is_some());
+        assert!(on.profile_stat("outer/ghost/inner").is_none());
+    }
+
+    #[test]
+    fn render_profile_is_an_indented_forest() {
+        let r = Recorder::new(Level::Counters);
+        {
+            let _a = r.profile_span("alpha");
+            let _b = r.profile_span("beta");
+        }
+        {
+            let _z = r.profile_span("zeta");
+        }
+        let txt = r.render_profile();
+        let alpha = txt.find("\nalpha").unwrap();
+        let beta = txt.find("\n  beta").unwrap();
+        let zeta = txt.find("\nzeta").unwrap();
+        assert!(alpha < beta && beta < zeta, "bad tree order:\n{txt}");
+        assert!(Recorder::off().render_profile().is_empty());
     }
 
     #[test]

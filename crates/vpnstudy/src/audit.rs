@@ -176,7 +176,7 @@ impl Study {
     pub fn run_with_threads(&mut self, threads: usize) -> StudyResults {
         let atlas = Arc::clone(self.world.atlas());
         let recorder = Recorder::new(self.config.obs_level);
-        let run_span = recorder.span("audit.run");
+        let run_span = recorder.profile_span("audit.run");
 
         // η estimation over the pingable subset (§5.3, Fig. 13). Runs
         // serially on the parent network before the fan-out, so its
@@ -189,7 +189,7 @@ impl Study {
             .filter(|p| p.pingable)
             .map(|p| p.node)
             .collect();
-        let eta_span = recorder.span("audit.eta_estimation");
+        let eta_span = recorder.profile_span("audit.eta_estimation");
         let eta_est = estimate_eta(
             self.world.network_mut(),
             self.client,
@@ -210,7 +210,15 @@ impl Study {
             );
         }
 
-        let cache = Arc::new(DiskCache::new(Arc::clone(self.mask.grid())));
+        let cache = {
+            let mut cache = DiskCache::new(Arc::clone(self.mask.grid()));
+            // The cache profiles its lookups into the study recorder;
+            // workers' lookup spans nest under their own thread's open
+            // profile frames and merge additively, so this stays out of
+            // the deterministic compartment.
+            cache.set_recorder(recorder.clone());
+            Arc::new(cache)
+        };
         let ctx = AuditCtx {
             network: self.world.network(),
             client: self.client,
@@ -231,6 +239,7 @@ impl Study {
 
         // Merge the worker-local buffers back in proxy order: the trace
         // is byte-identical for any thread count.
+        let absorb_span = recorder.profile_span("audit.absorb");
         let mut records: Vec<ProxyRecord> = Vec::with_capacity(outcomes.len());
         let mut failures: Vec<UnmeasuredProxy> = Vec::new();
         for outcome in outcomes {
@@ -240,6 +249,7 @@ impl Study {
                 ProxyResult::Failure(f) => failures.push(f),
             }
         }
+        drop(absorb_span);
 
         // Co-location group disambiguation (Fig. 16): within a group, the
         // true country must be common to every member's touched set.
@@ -325,7 +335,9 @@ fn measure_one_proxy(proxy: DeployedProxy, ctx: &AuditCtx<'_>) -> ProxyOutcome {
     // The per-proxy trace is detached from the study recorder (so
     // workers never interleave) and merged back in proxy order.
     let rec = ctx.obs.fork();
-    let span = rec.span("audit.proxy");
+    // Rooted explicitly so the profile tree has the same shape whether
+    // this ran inline on the coordinator (1 thread) or on a worker.
+    let span = rec.profile_span_root("audit.proxy");
     if rec.events_enabled() {
         rec.event(
             "audit",
@@ -345,6 +357,7 @@ fn measure_one_proxy(proxy: DeployedProxy, ctx: &AuditCtx<'_>) -> ProxyOutcome {
     // probe: a flap during session setup should not write the proxy
     // off. The backoff here is deterministic (no jitter) — it only
     // advances the sim clock.
+    let establish_span = rec.profile_span("audit.establish");
     let mut establish_attempts = 0usize;
     let mut ctx_established = None;
     for attempt in 0..reliability.retry.max_attempts.max(1) {
@@ -366,6 +379,7 @@ fn measure_one_proxy(proxy: DeployedProxy, ctx: &AuditCtx<'_>) -> ProxyOutcome {
             break;
         }
     }
+    drop(establish_span);
     let Some(tunnel) = ctx_established else {
         drop(span);
         return finish_proxy(
@@ -428,10 +442,11 @@ fn measure_one_proxy(proxy: DeployedProxy, ctx: &AuditCtx<'_>) -> ProxyOutcome {
         }
     };
 
-    let locate_span = rec.span("audit.locate");
+    let locate_span = rec.profile_span("audit.locate");
     let prediction =
         CbgPlusPlus.locate_traced(&two_phase.observations, mask, Some(cache), &rec);
     drop(locate_span);
+    let assess_span = rec.profile_span("audit.assess");
     let verdict = assess_claim(atlas, &prediction.region, proxy.claimed);
 
     // Data-center disambiguation (Fig. 15).
@@ -451,6 +466,7 @@ fn measure_one_proxy(proxy: DeployedProxy, ctx: &AuditCtx<'_>) -> ProxyOutcome {
     }
 
     let iclab = IclabChecker::default().check(atlas, proxy.claimed, &two_phase.observations);
+    drop(assess_span);
     drop(span);
     finish_proxy(
         rec,
@@ -841,13 +857,75 @@ mod tests {
             );
         });
         assert_eq!(res.trace_jsonl().lines().count(), res.obs.events_len());
-        // Wall compartment: one audit.proxy span per proxy.
-        let spans = res.obs.wall_spans();
-        let proxy_span = spans
-            .iter()
-            .find(|(name, _)| *name == "audit.proxy")
-            .expect("per-proxy span");
-        assert_eq!(proxy_span.1.count as usize, n);
+        // Wall compartment: one audit.proxy profile root per proxy,
+        // with the measurement stages nested beneath it.
+        let proxy_stat = res
+            .obs
+            .profile_stat("audit.proxy")
+            .expect("per-proxy profile root");
+        assert_eq!(proxy_stat.count as usize, n);
+        assert!(proxy_stat.self_ns <= proxy_stat.cum_ns);
+    }
+
+    #[test]
+    fn profile_tree_covers_the_audit_stages() {
+        let g = results().lock().unwrap();
+        let (study, res) = &*g;
+        let n = study.providers.proxies.len();
+        // Coordinator roots.
+        assert_eq!(res.obs.profile_stat("audit.run").unwrap().count, 1);
+        assert_eq!(
+            res.obs
+                .profile_stat("audit.run/audit.eta_estimation")
+                .unwrap()
+                .count,
+            1
+        );
+        // Worker stages nest under audit.proxy; every measured proxy
+        // ran phase 1 and located, and each probe bottoms out in the
+        // simulator's net.probe span.
+        let measured = res.records.len() as u64;
+        assert!(measured > 0);
+        let phase1 = res
+            .obs
+            .profile_stat("audit.proxy/twophase.phase1")
+            .expect("phase-1 span");
+        assert!(phase1.count as usize <= n);
+        let locate = res
+            .obs
+            .profile_stat("audit.proxy/audit.locate")
+            .expect("locate span");
+        assert_eq!(locate.count, measured);
+        let rel_probe = res
+            .obs
+            .profile_stat("audit.proxy/twophase.phase1/rel.probe")
+            .expect("scheduler probe span");
+        let net_probe = res
+            .obs
+            .profile_stat("audit.proxy/twophase.phase1/rel.probe/net.probe")
+            .expect("simulator probe span");
+        assert!(net_probe.count >= rel_probe.count);
+        // Disk intersections under the locate stage, reaching the cache.
+        let intersect = res
+            .obs
+            .profile_stat("audit.proxy/audit.locate/cbgpp.baseline/subset.intersect")
+            .expect("baseline intersection span");
+        assert!(intersect.count >= measured);
+        let lookup = res
+            .obs
+            .profile_stat(
+                "audit.proxy/audit.locate/cbgpp.baseline/subset.intersect/cache.lookup",
+            )
+            .expect("disk cache lookup span");
+        assert!(lookup.count > 0);
+        // Self time never exceeds cumulative anywhere in the tree.
+        for (path, stat) in res.obs.profile() {
+            assert!(stat.self_ns <= stat.cum_ns, "self > cum at {path}");
+        }
+        // The rendered tree indents children under their parents.
+        let tree = res.obs.render_profile();
+        assert!(tree.contains("audit.proxy"));
+        assert!(tree.contains("  audit.locate"), "no indented child:\n{tree}");
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::fmt::Write as _;
 
 /// The Fig. 17-style overall assessment block.
 pub fn render_overall(study: &Study, results: &StudyResults) -> String {
+    let _prof = results.obs.profile_span("report.overall");
     let mut out = String::new();
     let (c0, u0, f0) = results.counts(false);
     let (c1, u1, f1) = results.counts(true);
@@ -51,6 +52,7 @@ pub fn render_overall(study: &Study, results: &StudyResults) -> String {
 /// their reasons, and degradation counts. This is the ledger proving the
 /// audit never silently dropped a proxy.
 pub fn render_reliability(results: &StudyResults) -> String {
+    let _prof = results.obs.profile_span("report.reliability");
     let s = results.reliability_summary();
     let mut out = String::new();
     let total = s.measured + s.insufficient + s.unmeasurable;
@@ -103,11 +105,35 @@ pub fn render_perf_telemetry(results: &StudyResults) -> String {
     out
 }
 
+/// The hierarchical span profile of the run: an indented tree of every
+/// profiled stage (phase-1/phase-2 probing, retries, disk intersection,
+/// cache lookups, report rendering) with per-path call counts and
+/// self/cumulative wall time. Like [`render_perf_telemetry`], this is
+/// **scheduling-dependent telemetry** — never part of determinism diffs.
+pub fn render_profile(results: &StudyResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# span profile ({} threads): self = cum - time in child spans; wall-clock, machine-dependent",
+        results.threads
+    );
+    let tree = results.obs.render_profile();
+    if tree.is_empty() {
+        let _ = writeln!(out, "(no profile spans recorded — obs level Off?)");
+    } else {
+        let _ = write!(out, "{tree}");
+    }
+    out
+}
+
 /// The deterministic observability block: every counter and histogram
 /// the layers emitted during the run, identical for any thread count
 /// (the wall-clock compartment is deliberately excluded — it lives in
 /// [`render_perf_telemetry`]).
 pub fn render_observability(results: &StudyResults) -> String {
+    // A wall-side profile span around rendering the deterministic block
+    // is safe: the span changes nothing in the bytes rendered here.
+    let _prof = results.obs.profile_span("report.observability");
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -123,6 +149,7 @@ pub fn render_observability(results: &StudyResults) -> String {
 /// (generous/strict), ICLab, and the five IP databases with the
 /// provider's claims.
 pub fn render_fig21(study: &Study, results: &StudyResults) -> String {
+    let _prof = results.obs.profile_span("report.fig21");
     let mut out = String::new();
     let names: Vec<char> = study.providers.profiles.iter().map(|p| p.name).collect();
     let _ = write!(out, "{:<18}", "method");
