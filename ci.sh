@@ -22,19 +22,23 @@ cargo test -q --offline --test fault_campaign
 
 # Parallelism determinism gate: the rendered study report — including
 # the observability block and the full JSONL event trace — must be
-# byte-identical whether the audit fans out over 1 worker or 8. Any
-# diff means a proxy's result (or its recorded trace) depended on
-# scheduling — a bug, not noise.
+# byte-identical whether the audit fans out over 1, 8, or 16 workers
+# (16 oversubscribes every CI box, which is exactly the point: heavy
+# preemption shakes out scheduling dependence). Any diff means a
+# proxy's result (or its recorded trace) depended on scheduling — a
+# bug, not noise.
 report_dir="$(mktemp -d)"
 trap 'rm -rf "$report_dir"' EXIT
-PV_THREADS=1 cargo run -q --release --offline -p bench --bin determinism_report \
-    > "$report_dir/report-1thread.txt"
-PV_THREADS=8 cargo run -q --release --offline -p bench --bin determinism_report \
-    > "$report_dir/report-8thread.txt"
-cmp "$report_dir/report-1thread.txt" "$report_dir/report-8thread.txt" || {
-    echo "FAIL: study report differs between PV_THREADS=1 and PV_THREADS=8" >&2
-    exit 1
-}
+for t in 1 8 16; do
+    PV_THREADS=$t cargo run -q --release --offline -p bench --bin determinism_report \
+        > "$report_dir/report-${t}thread.txt"
+done
+for t in 8 16; do
+    cmp "$report_dir/report-1thread.txt" "$report_dir/report-${t}thread.txt" || {
+        echo "FAIL: study report differs between PV_THREADS=1 and PV_THREADS=$t" >&2
+        exit 1
+    }
+done
 
 # Perf lab smoke (see EXPERIMENTS.md "Perf lab"):
 #  1. the profiler must render a span tree for a full (small) audit;

@@ -23,12 +23,25 @@ pub const PHASE1_ANCHORS_PER_CONTINENT: usize = 3;
 pub const PHASE2_LANDMARKS: usize = 25;
 
 /// The landmark coordination server.
+///
+/// Construction precomputes everything that is a pure function of the
+/// constellation — the continent index, the phase-1 anchor set, each
+/// landmark's continent, and each probe's calibration anchor — so the
+/// audit can stand the server up **once** and share it read-only across
+/// every worker instead of rebuilding it per proxy.
 pub struct LandmarkServer<'a> {
     constellation: &'a Constellation,
     calibration: &'a CalibrationDb,
     atlas: &'a WorldAtlas,
     /// continent index → landmark ids on that continent.
     by_continent: Vec<Vec<LandmarkId>>,
+    /// The fixed phase-1 anchor set (up to three per continent).
+    phase1: Vec<LandmarkId>,
+    /// landmark id → its continent.
+    continents: Vec<Continent>,
+    /// landmark id → the anchor whose calibration it uses (itself for
+    /// anchors, the nearest calibrated anchor for probes).
+    calibration_anchor: Vec<LandmarkId>,
 }
 
 impl<'a> LandmarkServer<'a> {
@@ -38,15 +51,47 @@ impl<'a> LandmarkServer<'a> {
         calibration: &'a CalibrationDb,
         atlas: &'a WorldAtlas,
     ) -> LandmarkServer<'a> {
-        let by_continent = Continent::ALL
+        let by_continent: Vec<Vec<LandmarkId>> = Continent::ALL
             .iter()
             .map(|&c| constellation.on_continent(atlas, c))
             .collect();
+        let landmarks = constellation.landmarks();
+        let continents = landmarks
+            .iter()
+            .map(|lm| atlas.country(lm.country).continent())
+            .collect();
+        let calibration_anchor = landmarks
+            .iter()
+            .enumerate()
+            .map(|(id, lm)| {
+                if lm.is_anchor {
+                    return id;
+                }
+                // Nearest anchor by great-circle distance — the paper's
+                // server assigns probes "the most recent mesh data of
+                // nearby anchors".
+                constellation
+                    .anchors()
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        let da = a.location.distance_km(&lm.location);
+                        let db = b.location.distance_km(&lm.location);
+                        da.total_cmp(&db)
+                    })
+                    .map(|(i, _)| i)
+                    .expect("constellation has anchors")
+            })
+            .collect();
+        let phase1 = phase1_selection(constellation, &by_continent);
         LandmarkServer {
             constellation,
             calibration,
             atlas,
             by_continent,
+            phase1,
+            continents,
+            calibration_anchor,
         }
     }
 
@@ -68,25 +113,14 @@ impl<'a> LandmarkServer<'a> {
     /// Phase-1 landmark set: up to three anchors per continent (fewer on
     /// continents that simply have fewer anchors), chosen to be spread
     /// out (first, middle, last of the continent's anchor list).
-    pub fn phase1_landmarks(&self) -> Vec<LandmarkId> {
-        let mut out = Vec::new();
-        for ids in &self.by_continent {
-            let anchors: Vec<LandmarkId> = ids
-                .iter()
-                .copied()
-                .filter(|&id| self.constellation.landmarks()[id].is_anchor)
-                .collect();
-            match anchors.len() {
-                0 => {}
-                n if n <= PHASE1_ANCHORS_PER_CONTINENT => out.extend(anchors),
-                n => {
-                    out.push(anchors[0]);
-                    out.push(anchors[n / 2]);
-                    out.push(anchors[n - 1]);
-                }
-            }
-        }
-        out
+    /// Precomputed at construction — every proxy probes the same set.
+    pub fn phase1_landmarks(&self) -> &[LandmarkId] {
+        &self.phase1
+    }
+
+    /// The continent a landmark sits on (precomputed at construction).
+    pub fn continent_of(&self, landmark: LandmarkId) -> Continent {
+        self.continents[landmark]
     }
 
     /// Phase-2 landmark set: `PHASE2_LANDMARKS` drawn uniformly without
@@ -110,28 +144,38 @@ impl<'a> LandmarkServer<'a> {
     /// Calibration set for a landmark, if it is a calibrated anchor.
     /// Probes are uncalibrated: the paper's server assigns them a model
     /// from the most recent mesh data of nearby anchors — we implement
-    /// that as "nearest calibrated anchor's model".
+    /// that as "nearest calibrated anchor's model", resolved once at
+    /// construction so the per-observation path is a table lookup.
     pub fn calibration_for(&self, landmark: LandmarkId) -> &crate::CalibrationSet {
-        let lms = self.constellation.landmarks();
-        if lms[landmark].is_anchor {
-            return self.calibration.for_anchor(landmark);
-        }
-        // Nearest anchor by great-circle distance.
-        let here = lms[landmark].location;
-        let nearest = self
-            .constellation
-            .anchors()
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                let da = a.location.distance_km(&here);
-                let db = b.location.distance_km(&here);
-                da.total_cmp(&db)
-            })
-            .map(|(i, _)| i)
-            .expect("constellation has anchors");
-        self.calibration.for_anchor(nearest)
+        self.calibration.for_anchor(self.calibration_anchor[landmark])
     }
+}
+
+/// The fixed phase-1 selection: first, middle, and last anchor of each
+/// continent's anchor list (all of them when a continent has three or
+/// fewer).
+fn phase1_selection(
+    constellation: &Constellation,
+    by_continent: &[Vec<LandmarkId>],
+) -> Vec<LandmarkId> {
+    let mut out = Vec::new();
+    for ids in by_continent {
+        let anchors: Vec<LandmarkId> = ids
+            .iter()
+            .copied()
+            .filter(|&id| constellation.landmarks()[id].is_anchor)
+            .collect();
+        match anchors.len() {
+            0 => {}
+            n if n <= PHASE1_ANCHORS_PER_CONTINENT => out.extend(anchors),
+            n => {
+                out.push(anchors[0]);
+                out.push(anchors[n / 2]);
+                out.push(anchors[n - 1]);
+            }
+        }
+    }
+    out
 }
 
 /// Uniform sample of `k` distinct elements (Fisher–Yates prefix).
@@ -192,14 +236,26 @@ mod tests {
         // continents × up to 3.
         assert!(p1.len() >= 8, "phase1 too small: {}", p1.len());
         assert!(p1.len() <= 24);
-        for &id in &p1 {
+        for &id in p1 {
             assert!(f.constellation.landmarks()[id].is_anchor);
         }
         // No duplicates.
-        let mut sorted = p1.clone();
+        let mut sorted = p1.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), p1.len());
+    }
+
+    #[test]
+    fn continent_table_matches_atlas() {
+        let f = fixture();
+        let server = LandmarkServer::new(&f.constellation, &f.calibration, f.world.atlas());
+        for (id, lm) in f.constellation.landmarks().iter().enumerate() {
+            assert_eq!(
+                server.continent_of(id),
+                f.world.atlas().country(lm.country).continent()
+            );
+        }
     }
 
     #[test]

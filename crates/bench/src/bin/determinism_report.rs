@@ -1,15 +1,16 @@
 //! Render the audit's deterministic report blocks for the CI
 //! determinism gate.
 //!
-//! `ci.sh` runs this twice — under `PV_THREADS=1` and `PV_THREADS=8` —
-//! and fails on any byte difference, proving the parallel audit engine
-//! changes nothing the study reports. Everything printed here must
-//! therefore be a pure function of the study seed: the perf telemetry
-//! block (`render_perf_telemetry`) is deliberately absent, because disk
-//! cache hit/miss counts depend on worker scheduling. The observability
-//! block and the full JSONL event trace *are* included — per-proxy
-//! event buffers are merged in proxy order, so they too must be
-//! byte-identical at any thread count.
+//! `ci.sh` runs this under `PV_THREADS=1`, `8`, and `16` and fails on
+//! any byte difference, proving the parallel audit engine changes
+//! nothing the study reports. Everything printed here must therefore be
+//! a pure function of the study seed: the perf telemetry block
+//! (`render_perf_telemetry`) is absent because it prints wall-clock
+//! span timings, but the disk-cache hit/miss/entry counts it draws on
+//! are exact under the fill-once cache, so they are printed — and
+//! diffed — directly. The observability block and the full JSONL event
+//! trace are included too: per-proxy event buffers are merged in proxy
+//! order, so they must be byte-identical at any thread count.
 
 use vpnstudy::audit::Study;
 use vpnstudy::report;
@@ -26,6 +27,12 @@ fn main() {
     print!("{}", report::render_fig21(&study, &results));
     println!("---");
     print!("{}", report::render_observability(&results));
+    println!("---");
+    let cache = results.cache_stats();
+    println!(
+        "disk cache: {} hits, {} misses, {} entries",
+        cache.hits, cache.misses, cache.entries
+    );
     println!("---");
     print!("{}", results.trace_jsonl());
 }

@@ -52,15 +52,21 @@ pub fn bayes_region(
         .iter()
         .map(|(lm, t)| (geokit::PointTrig::new(lm), *t))
         .collect();
-    let mut logps: Vec<f64> = Vec::with_capacity(cells.len());
-    for &cell in &cells {
-        let mut logp = 0.0;
-        for &(ref lm, t) in &landmarks {
-            logp += model.log_density(t, trig.distance_to_cell_km(lm, cell));
+    // Landmark-outer accumulation: each landmark streams its density
+    // over the flat cell vector in one pass, so the per-cell trig table
+    // lookups are sequential and the landmark's (PointTrig, t) pair
+    // stays in registers. Per cell, the additions still happen in the
+    // same order as the cell-outer loop — landmark 0, landmark 1, …,
+    // then the area term — so every logp is bit-identical to before.
+    let mut logps: Vec<f64> = vec![0.0; cells.len()];
+    for &(ref lm, t) in &landmarks {
+        for (logp, &cell) in logps.iter_mut().zip(&cells) {
+            *logp += model.log_density(t, trig.distance_to_cell_km(lm, cell));
         }
-        // Weight by cell area so the posterior is over *area*, not cells.
-        logp += grid.cell_area_km2(cell).ln();
-        logps.push(logp);
+    }
+    // Weight by cell area so the posterior is over *area*, not cells.
+    for (logp, &cell) in logps.iter_mut().zip(&cells) {
+        *logp += grid.cell_area_km2(cell).ln();
     }
 
     // Normalize via log-sum-exp.

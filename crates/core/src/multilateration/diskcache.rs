@@ -14,19 +14,26 @@
 //! bounded by one grid cell of radius, below the rasterization slack the
 //! constraint engine already applies ([`grid_slack_km`]).
 //!
-//! The cache is safe to share across worker threads (`Arc<DiskCache>`),
-//! and — because a cached value is a pure function of its key — the
-//! *contents* reached through it are identical no matter which thread
-//! populated an entry first. Only the hit/miss counters depend on
-//! scheduling; they are telemetry, deliberately excluded from the
-//! deterministic study report that CI byte-diffs.
+//! ## Fill-once concurrency protocol
+//!
+//! The cache is safe to share across worker threads (`Arc<DiskCache>`)
+//! and fills **once per key**: the map is sharded across striped locks,
+//! and each entry is a reservation cell ([`OnceLock`]). The first worker
+//! to ask for a key inserts an empty reservation under the shard lock,
+//! counts the one miss, and rasterizes *outside* the lock; every other
+//! worker finds the reservation, counts a hit, and blocks on
+//! [`OnceLock::wait`] until the disk is ready. No disk is ever
+//! rasterized twice, and the traffic counters are exact — for a fixed
+//! workload, `hits`, `misses`, and `entries` are identical for every
+//! thread count (`misses == entries` always), so they can participate
+//! in determinism diffs rather than being quarantined as telemetry.
 //!
 //! [`grid_slack_km`]: crate::multilateration::constraint::grid_slack_km
 
 use geokit::{GeoGrid, GeoPoint, Region, SphericalCap};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Cache key: exact landmark coordinates (bit patterns — landmarks are
 /// shared constellation points, so equal positions have equal bits) plus
@@ -38,16 +45,42 @@ struct DiskKey {
     radius_cells: u32,
 }
 
-/// Running totals of cache traffic. Scheduling-dependent under
-/// multi-threaded use (two workers can both miss the same key), so
-/// report these as telemetry, never as part of deterministic output.
+impl DiskKey {
+    /// Shard index: a 64-bit avalanche over the key fields so nearby
+    /// landmarks don't pile onto one stripe.
+    fn shard(&self) -> usize {
+        let mut h = self.lat_bits
+            ^ self.lon_bits.rotate_left(21)
+            ^ u64::from(self.radius_cells).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        (h as usize) % SHARD_COUNT
+    }
+}
+
+/// Number of striped locks over the key space. Contention on a shard
+/// lock is held only for a map probe or a reservation insert — never a
+/// rasterization — so a modest stripe count suffices.
+const SHARD_COUNT: usize = 16;
+
+/// One reservation cell: empty while the reserving worker rasterizes,
+/// filled exactly once.
+type DiskSlot = Arc<OnceLock<Arc<Region>>>;
+
+/// Running totals of cache traffic. Exact under any thread count: the
+/// fill-once protocol guarantees every lookup counts exactly one hit or
+/// one miss, and exactly one worker misses per distinct key, so for a
+/// fixed workload `hits`, `misses`, and `entries` are thread-count
+/// invariant (with `misses == entries`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DiskCacheStats {
-    /// Lookups answered from the memo.
+    /// Lookups answered from the memo (including lookups that waited on
+    /// another worker's in-flight rasterization).
     pub hits: u64,
-    /// Lookups that had to rasterize.
+    /// Lookups that reserved the key and rasterized (one per entry).
     pub misses: u64,
-    /// Distinct disks currently stored.
+    /// Distinct disks stored.
     pub entries: usize,
 }
 
@@ -63,14 +96,18 @@ impl DiskCacheStats {
     }
 }
 
-/// An `Arc`-shared memo of rasterized landmark disks on one grid.
+/// An `Arc`-shared, fill-once memo of rasterized landmark disks on one
+/// grid.
 #[derive(Debug)]
 pub struct DiskCache {
     grid: Arc<GeoGrid>,
     /// Kilometres per whole-cell radius step (one equatorial cell
     /// height).
     cell_km: f64,
-    map: RwLock<HashMap<DiskKey, Arc<Region>>>,
+    /// Striped reservation maps: `key.shard()` picks the stripe. The
+    /// lock guards only map probes and reservation inserts; the
+    /// rasterization itself happens outside, on the reserving worker.
+    shards: Vec<Mutex<HashMap<DiskKey, DiskSlot>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     /// Wall-clock profiling sink (off by default). Lookup and rasterize
@@ -86,7 +123,7 @@ impl DiskCache {
         DiskCache {
             grid,
             cell_km,
-            map: RwLock::new(HashMap::new()),
+            shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             obs: obs::Recorder::off(),
@@ -132,6 +169,55 @@ impl DiskCache {
         (cells > 0).then(|| self.disk_of_cells(center, cells))
     }
 
+    /// Rasterize the given disks now, on the calling thread, so a
+    /// parallel fan-out starts with them already filled. Radii quantize
+    /// exactly as [`disk`](DiskCache::disk) does. Returns how many
+    /// entries were newly rasterized; already-present keys are skipped.
+    ///
+    /// Pre-warming counts neither hits nor misses — it is setup, not
+    /// traffic — so a warmed run reports more hits (and zero extra
+    /// entries) for the same lookups, deterministically.
+    pub fn prewarm<I>(&self, disks: I) -> usize
+    where
+        I: IntoIterator<Item = (GeoPoint, f64)>,
+    {
+        let mut filled = 0usize;
+        for (center, radius_km) in disks {
+            let key = DiskKey {
+                lat_bits: center.lat().to_bits(),
+                lon_bits: center.lon().to_bits(),
+                radius_cells: self.radius_cells(radius_km),
+            };
+            let (slot, reserved) = self.reserve(key);
+            if reserved {
+                slot.set(self.rasterize(&center, key.radius_cells))
+                    .expect("reserved slot filled twice");
+                filled += 1;
+            }
+        }
+        filled
+    }
+
+    /// Probe-or-reserve: returns the key's slot and whether *this* call
+    /// created it (making the caller responsible for filling it).
+    fn reserve(&self, key: DiskKey) -> (DiskSlot, bool) {
+        let mut shard = self.shards[key.shard()].lock().expect("disk cache poisoned");
+        match shard.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => (Arc::clone(e.get()), false),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let slot: DiskSlot = Arc::new(OnceLock::new());
+                v.insert(Arc::clone(&slot));
+                (slot, true)
+            }
+        }
+    }
+
+    fn rasterize(&self, center: &GeoPoint, cells: u32) -> Arc<Region> {
+        let _raster_span = self.obs.profile_span("cache.rasterize");
+        let cap = SphericalCap::new(*center, f64::from(cells) * self.cell_km);
+        Arc::new(Region::from_cap(&self.grid, &cap))
+    }
+
     fn disk_of_cells(&self, center: &GeoPoint, cells: u32) -> Arc<Region> {
         let _lookup_span = self.obs.profile_span("cache.lookup");
         let key = DiskKey {
@@ -139,28 +225,33 @@ impl DiskCache {
             lon_bits: center.lon().to_bits(),
             radius_cells: cells,
         };
-        if let Some(region) = self.map.read().expect("disk cache poisoned").get(&key) {
+        let (slot, reserved) = self.reserve(key);
+        if reserved {
+            // This call owns the key: the one miss, the one rasterization.
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let region = self.rasterize(center, cells);
+            slot.set(Arc::clone(&region))
+                .expect("reserved slot filled twice");
+            region
+        } else {
+            // Someone else owns the key; wait for their fill if it is
+            // still in flight. A hit either way — the work is not ours.
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(region);
+            Arc::clone(slot.wait())
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let region = {
-            let _raster_span = self.obs.profile_span("cache.rasterize");
-            let cap = SphericalCap::new(*center, f64::from(cells) * self.cell_km);
-            Arc::new(Region::from_cap(&self.grid, &cap))
-        };
-        let mut map = self.map.write().expect("disk cache poisoned");
-        // A racing worker may have inserted meanwhile; both rasterized
-        // the same pure function of the key, so either value is fine.
-        Arc::clone(map.entry(key).or_insert(region))
     }
 
-    /// Current traffic counters and size.
+    /// Current traffic counters and size. Exact and thread-count
+    /// invariant for a fixed workload (see the module docs).
     pub fn stats(&self) -> DiskCacheStats {
         DiskCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.read().expect("disk cache poisoned").len(),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("disk cache poisoned").len())
+                .sum(),
         }
     }
 }
@@ -229,5 +320,64 @@ mod tests {
         c.disk(&GeoPoint::new(10.0, 12.0), 400.0);
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.entries), (0, 2, 2));
+    }
+
+    #[test]
+    fn prewarm_fills_without_counting_traffic() {
+        let c = cache();
+        let lm = GeoPoint::new(48.0, 11.0);
+        // Two distinct keys, one repeated: two fresh rasterizations.
+        let filled = c.prewarm([(lm, 700.0), (lm, 700.0), (lm, 1500.0)]);
+        assert_eq!(filled, 2);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 0, 2));
+        // A warmed lookup is a hit and shares the warmed rasterization.
+        let warmed = c.disk(&lm, 700.0);
+        let again = c.disk(&lm, 700.0);
+        assert!(Arc::ptr_eq(&warmed, &again));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (2, 0, 2));
+        // Prewarming an existing key is a no-op.
+        assert_eq!(c.prewarm([(lm, 700.0)]), 0);
+    }
+
+    /// The satellite-1 stress test: hammer one shared cache from many
+    /// threads over a workload with heavy key overlap, and require the
+    /// counters to be *exact* — `misses == entries`, `hits + misses ==`
+    /// the number of lookups — and identical for every thread count.
+    #[test]
+    fn concurrent_stats_are_exact_and_thread_count_invariant() {
+        // 6 distinct centres × 4 distinct radius cells = 24 keys, looked
+        // up 40× each per run.
+        let workload: Vec<(GeoPoint, f64)> = (0..960)
+            .map(|i| {
+                let centre = GeoPoint::new(10.0 + f64::from(i % 6) * 7.0, 20.0);
+                let radius = 300.0 + f64::from((i / 6) % 4) * 400.0;
+                (centre, radius)
+            })
+            .collect();
+        let run = |threads: usize| {
+            let c = Arc::new(cache());
+            let chunk = workload.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for part in workload.chunks(chunk) {
+                    let c = Arc::clone(&c);
+                    scope.spawn(move || {
+                        for (centre, radius) in part {
+                            std::hint::black_box(c.disk(centre, *radius));
+                        }
+                    });
+                }
+            });
+            c.stats()
+        };
+        let serial = run(1);
+        assert_eq!(serial.misses as usize, serial.entries, "misses must equal entries");
+        assert_eq!(serial.hits + serial.misses, workload.len() as u64);
+        assert_eq!((serial.misses, serial.entries), (24, 24));
+        for threads in [2, 4, 8, 16] {
+            let s = run(threads);
+            assert_eq!(serial, s, "cache stats diverged at {threads} threads");
+        }
     }
 }

@@ -117,15 +117,36 @@ fn counting_sweep(constraints: &[RingConstraint], mask: &Region) -> SubsetResult
             }
         }
     }
+    // Max-scan and region build walk the mask's word-runs instead of
+    // decoding cell ids one bit at a time: each run is a contiguous
+    // `counts` slice, so both passes are straight-line slice sweeps with
+    // no per-cell branch on membership. Pure integer comparisons — the
+    // result is identical to the per-cell loop in any iteration order.
     let mut best_count = 0u32;
-    for cell in mask.cells() {
-        best_count = best_count.max(counts[cell as usize]);
+    for run in mask.runs() {
+        for &c in &counts[run.start as usize..run.end as usize] {
+            best_count = best_count.max(c);
+        }
     }
     let mut region = Region::empty(std::sync::Arc::clone(grid));
     if best_count > 0 {
-        for cell in mask.cells() {
-            if counts[cell as usize] == best_count {
-                region.insert(cell);
+        for run in mask.runs() {
+            // Within a run, insert each maximal sub-run of cells whose
+            // count equals the winner as one word-masked splice.
+            let base = run.start as usize;
+            let slice = &counts[base..run.end as usize];
+            let mut i = 0;
+            while i < slice.len() {
+                if slice[i] == best_count {
+                    let mut j = i + 1;
+                    while j < slice.len() && slice[j] == best_count {
+                        j += 1;
+                    }
+                    region.insert_id_run((base + i) as u32..(base + j) as u32);
+                    i = j;
+                } else {
+                    i += 1;
+                }
             }
         }
     }

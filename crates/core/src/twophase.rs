@@ -206,10 +206,11 @@ fn two_phase_inner<P: RttProber, R: Rng + ?Sized>(
     cfg: &InnerConfig,
 ) -> InnerOutcome {
     let landmarks = server.constellation().landmarks();
-    let continent_of =
-        |id: usize| server.atlas().country(landmarks[id].country).continent();
+    let continent_of = |id: usize| server.continent_of(id);
 
-    // Phase 1: three anchors per continent; fastest answer wins.
+    // Phase 1: three anchors per continent; fastest answer wins. The
+    // set is precomputed on the server, which the audit shares across
+    // every proxy — no per-proxy selection work.
     let phase1 = server.phase1_landmarks();
     let phase1_total = phase1.len();
     if network.recorder().events_enabled() {
@@ -224,7 +225,7 @@ fn two_phase_inner<P: RttProber, R: Rng + ?Sized>(
     let phase1_span = network.recorder().profile_span("twophase.phase1");
     let mut best: Option<(f64, Continent)> = None;
     let mut phase1_obs: Vec<(usize, f64)> = Vec::new();
-    for id in phase1 {
+    for &id in phase1 {
         let Some(rtt) = prober.probe(network, landmarks[id].node) else {
             continue;
         };

@@ -341,6 +341,37 @@ impl Region {
             .all(|(a, b)| a & !b == 0)
     }
 
+    /// Insert every cell of the half-open **raw id** range, with
+    /// whole-word stores. Idempotent. The run-based counterpart of
+    /// [`insert`](Self::insert) for consumers that work in flat cell-id
+    /// space (e.g. a counting sweep over a per-cell array) rather than
+    /// (row, column) coordinates — see [`insert_run`](Self::insert_run)
+    /// for the row-addressed variant.
+    pub fn insert_id_run(&mut self, range: std::ops::Range<CellId>) {
+        let mut added = 0u32;
+        self.for_each_word_in_range(range.start, range.end, |w, mask| {
+            added += (mask & !*w).count_ones();
+            *w |= mask;
+        });
+        self.count += added;
+    }
+
+    /// Iterate the region as maximal runs of consecutive member cells,
+    /// each a half-open `lo..hi` id range, in ascending order.
+    ///
+    /// This is the structure-of-arrays access pattern for hot loops:
+    /// instead of extracting member cells bit by bit and branching per
+    /// cell, a consumer slices its per-cell data by `[lo, hi)` and
+    /// iterates words of contiguous memory. Cost is proportional to the
+    /// word count plus the run count, never the member count.
+    pub fn runs(&self) -> RegionRuns<'_> {
+        RegionRuns {
+            bits: &self.bits,
+            pos: 0,
+            limit: self.grid.num_cells(),
+        }
+    }
+
     /// Iterate over member cells in ascending id order.
     pub fn cells(&self) -> impl Iterator<Item = CellId> + '_ {
         self.bits.iter().enumerate().flat_map(|(w, &word)| {
@@ -401,6 +432,61 @@ impl Region {
             }
         }
         Some(best)
+    }
+}
+
+/// Iterator over a region's maximal runs of consecutive member cells
+/// (see [`Region::runs`]).
+pub struct RegionRuns<'a> {
+    bits: &'a [u64],
+    /// Next bit position to examine.
+    pos: u32,
+    /// One past the last valid cell id.
+    limit: u32,
+}
+
+impl RegionRuns<'_> {
+    /// First position `>= from` whose bit matches `target` (set bits
+    /// when `target`, clear bits otherwise), or `None`/`limit` when the
+    /// scan runs off the end.
+    fn scan_from(&self, from: u32, target_set: bool) -> u32 {
+        let mut w = (from / 64) as usize;
+        if w >= self.bits.len() {
+            return self.limit;
+        }
+        // Mask off bits below `from` in the first word; invert for
+        // clear-bit scans so trailing_zeros finds the target either way.
+        let flip = if target_set { 0 } else { !0u64 };
+        let mut word = (self.bits[w] ^ flip) & (!0u64 << (from % 64));
+        loop {
+            if word != 0 {
+                let bit = (w as u32) * 64 + word.trailing_zeros();
+                return bit.min(self.limit);
+            }
+            w += 1;
+            if w >= self.bits.len() {
+                return self.limit;
+            }
+            word = self.bits[w] ^ flip;
+        }
+    }
+}
+
+impl Iterator for RegionRuns<'_> {
+    type Item = std::ops::Range<CellId>;
+
+    fn next(&mut self) -> Option<std::ops::Range<CellId>> {
+        if self.pos >= self.limit {
+            return None;
+        }
+        let start = self.scan_from(self.pos, true);
+        if start >= self.limit {
+            self.pos = self.limit;
+            return None;
+        }
+        let end = self.scan_from(start + 1, false);
+        self.pos = end;
+        Some(start..end)
     }
 }
 
@@ -580,6 +666,61 @@ mod tests {
         assert_eq!(r.cell_count(), 100);
         r.remove_run(5, 0..40); // only [20, 40) present
         assert_eq!(r.cell_count(), 80);
+    }
+
+    #[test]
+    fn runs_group_cells_exactly() {
+        let g = grid();
+        // Word-boundary torture: runs within a word, spanning words,
+        // adjacent runs separated by one cell, and a single trailing bit.
+        let mut r = Region::empty(Arc::clone(&g));
+        for range in [5u32..17, 60..70, 71..72, 128..256, 300..301] {
+            r.insert_id_run(range);
+        }
+        let runs: Vec<std::ops::Range<CellId>> = r.runs().collect();
+        assert_eq!(runs, vec![5..17, 60..70, 71..72, 128..256, 300..301]);
+        // The runs must partition cells(): same members, same order.
+        let from_runs: Vec<CellId> = r.runs().flatten().collect();
+        let from_cells: Vec<CellId> = r.cells().collect();
+        assert_eq!(from_runs, from_cells);
+        assert_eq!(
+            r.runs().map(|run| run.len() as u32).sum::<u32>(),
+            r.cell_count()
+        );
+    }
+
+    #[test]
+    fn runs_of_caps_and_extremes() {
+        let g = grid();
+        assert_eq!(Region::empty(Arc::clone(&g)).runs().count(), 0);
+        let full = Region::full(Arc::clone(&g));
+        let runs: Vec<_> = full.runs().collect();
+        assert_eq!(runs, vec![0..g.num_cells()], "full region is one run");
+        let cap = Region::from_cap(&g, &SphericalCap::new(GeoPoint::new(10.0, 20.0), 900.0));
+        let from_runs: Vec<CellId> = cap.runs().flatten().collect();
+        assert_eq!(from_runs, cap.cells().collect::<Vec<_>>());
+        for w in cap.runs().collect::<Vec<_>>().windows(2) {
+            assert!(w[0].end < w[1].start, "runs must be maximal and ordered");
+        }
+    }
+
+    #[test]
+    fn insert_id_run_matches_per_cell_insert() {
+        let g = grid();
+        let mut by_run = Region::empty(Arc::clone(&g));
+        let mut by_cell = Region::empty(Arc::clone(&g));
+        for range in [0u32..1, 3..64, 64..128, 100..231, 250..250] {
+            by_run.insert_id_run(range.clone());
+            for c in range {
+                by_cell.insert(c);
+            }
+        }
+        assert_eq!(by_run, by_cell);
+        assert_eq!(by_run.cell_count(), by_cell.cell_count());
+        // Idempotent on overlap.
+        let before = by_run.cell_count();
+        by_run.insert_id_run(3..64);
+        assert_eq!(by_run.cell_count(), before);
     }
 
     #[test]

@@ -182,6 +182,14 @@ impl FaultPlan {
         self.rate_state.lock().expect("fault state").remove(&node);
     }
 
+    /// True if any node has a reply rate limit configured. Rate limits
+    /// are the plan's only state that mutates through `&FaultPlan`
+    /// (the sliding window advances as replies are sent), so a plan
+    /// without them is safe to share read-only across forks.
+    pub fn has_rate_limits(&self) -> bool {
+        !self.rate_limits.is_empty()
+    }
+
     /// Does this forwarding node drop the packet now?
     pub fn drops_packet<R: Rng + ?Sized>(&self, _node: NodeId, rng: &mut R) -> bool {
         self.drop_chance > 0.0 && sampling::coin(rng, self.drop_chance)

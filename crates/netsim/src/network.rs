@@ -32,8 +32,14 @@ pub const DEFAULT_PROBE_TIMEOUT_MS: f64 = 2_000.0;
 pub struct Network {
     topo: Arc<Topology>,
     router: Arc<Router>,
-    model: DelayModel,
-    faults: FaultPlan,
+    /// `Arc`-shared copy-on-write: [`fork`](Network::fork) shares the
+    /// model, and mutation would clone it first (`Arc::make_mut`).
+    model: Arc<DelayModel>,
+    /// `Arc`-shared copy-on-write like `model`, **except** when the plan
+    /// carries sliding-window rate-limit state, which mutates through
+    /// `&FaultPlan` during runs — then forks deep-copy (see
+    /// [`fork`](Network::fork)).
+    faults: Arc<FaultPlan>,
     rng: StdRng,
     /// The persistent simulation clock: probes are injected at `now`,
     /// and `now` advances by each probe's wall time (or the probe
@@ -59,8 +65,8 @@ impl Network {
         Network {
             topo: Arc::new(topo),
             router: Arc::new(Router::new()),
-            model,
-            faults: FaultPlan::default(),
+            model: Arc::new(model),
+            faults: Arc::new(FaultPlan::default()),
             rng: StdRng::seed_from_u64(seed),
             now: SimTime::ZERO,
             probe_timeout: SimDuration::from_ms(DEFAULT_PROBE_TIMEOUT_MS),
@@ -70,21 +76,34 @@ impl Network {
 
     /// An independent measurement handle over the same world.
     ///
-    /// The fork shares the topology and the router's Dijkstra cache
-    /// (both `Arc`; route content is a pure function of the topology, so
-    /// sharing the cache across threads cannot change any result), deep
-    /// copies the fault plan's mutable state, inherits the parent's
+    /// The fork shares the topology, the router's Dijkstra cache, and
+    /// the delay model (all `Arc`; all read-only during runs, so sharing
+    /// across threads cannot change any result), inherits the parent's
     /// clock, and starts a **fresh RNG stream** from `seed`. Probing
     /// through a fork never advances the parent's clock or RNG — the
     /// basis of the audit's per-proxy parallelism: results depend only
     /// on (shared world, per-proxy seed), not on which thread measures
     /// which proxy first.
+    ///
+    /// The fault plan is `Arc`-shared too **unless** it carries reply
+    /// rate limits: their sliding-window state mutates through
+    /// `&FaultPlan` during engine runs, so sharing it would let one
+    /// fork's probes consume another fork's rate-limit budget (and make
+    /// results scheduling-dependent). Plans with rate limits are
+    /// deep-copied per fork, exactly as every fork was before the
+    /// copy-on-write optimization; the common fault-free audit pays no
+    /// per-proxy clone at all.
     pub fn fork(&self, seed: u64) -> Network {
+        let faults = if self.faults.has_rate_limits() {
+            Arc::new(FaultPlan::clone(&self.faults))
+        } else {
+            Arc::clone(&self.faults)
+        };
         Network {
             topo: Arc::clone(&self.topo),
             router: Arc::clone(&self.router),
-            model: self.model.clone(),
-            faults: self.faults.clone(),
+            model: Arc::clone(&self.model),
+            faults,
             rng: StdRng::seed_from_u64(seed),
             now: self.now,
             probe_timeout: self.probe_timeout,
@@ -152,9 +171,11 @@ impl Network {
     }
 
     /// Mutable fault plan (drops, outages, rate limits, corruption,
-    /// adversarial proxies).
+    /// adversarial proxies). If forks share this plan it is
+    /// copied-on-write — forks keep the plan as it was when they were
+    /// taken.
     pub fn faults_mut(&mut self) -> &mut FaultPlan {
-        &mut self.faults
+        Arc::make_mut(&mut self.faults)
     }
 
     /// Apply the fault plan's measurement-corruption model to a

@@ -19,10 +19,11 @@
 //!   ([`Recorder::events_jsonl`]) and the rendered observability report,
 //!   both of which CI byte-diffs across `PV_THREADS` values.
 //! * **Wall-clock** — [`Span`] timings (`std::time::Instant`) and
-//!   scheduling-dependent tallies ([`Recorder::wall_count`], e.g. a
-//!   shared cache's hit/miss split under racing workers). These are
-//!   real performance telemetry, rendered in their own section and
-//!   **never** included in determinism diffs.
+//!   run-machinery tallies ([`Recorder::wall_count`], e.g. the worker
+//!   count or a shared cache's hit/miss split). These are performance
+//!   telemetry, rendered in their own section; span timings are never
+//!   included in determinism diffs (exact tallies may be, at the
+//!   consumer's discretion — the fill-once disk cache's counters are).
 //!
 //! ## Hierarchical profiling
 //!
@@ -604,9 +605,9 @@ impl Recorder {
         }
     }
 
-    /// Add `n` to the wall-side (scheduling-dependent) counter `name` —
-    /// e.g. a shared cache's hit/miss split, which depends on which
-    /// worker got to a key first.
+    /// Add `n` to the wall-side counter `name` — telemetry about the
+    /// run's machinery (worker count, shared-cache hit/miss split)
+    /// rather than the study's findings.
     pub fn wall_count(&self, name: &'static str, n: u64) {
         if self.level == Level::Off {
             return;

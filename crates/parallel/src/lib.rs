@@ -17,41 +17,118 @@
 //! dependencies — it is `std::thread::scope` plus an atomic work
 //! counter. Items are claimed one at a time from a shared cursor
 //! (dynamic scheduling), so a slow item does not stall a whole
-//! pre-assigned chunk.
+//! pre-assigned chunk. The claim itself is lock-free: the cursor's
+//! `fetch_add` hands each index to exactly one worker, which is the
+//! entire mutual-exclusion argument — no per-item lock is needed to
+//! take the input or to write the output slot.
 
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// The environment variable that pins the worker count for every
 /// consumer of [`configured_threads`] (the CI determinism gate runs the
-/// audit under `PV_THREADS=1` and `PV_THREADS=4` and diffs the output).
+/// audit under `PV_THREADS=1`, `8`, and `16` and diffs the output).
 pub const THREADS_ENV: &str = "PV_THREADS";
 
 /// The worker count to use when the caller expresses no preference:
 /// `PV_THREADS` if set to a positive integer, otherwise the machine's
 /// available parallelism, otherwise 1.
+///
+/// A `PV_THREADS` value that is present but not a positive integer
+/// (unparsable, or `0`) is **rejected with a one-line stderr warning**
+/// naming the value, then ignored — a misconfigured CI job should be
+/// visible, not silently fall back.
 pub fn configured_threads() -> usize {
-    if let Ok(v) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
+    let setting = std::env::var(THREADS_ENV).ok();
+    match resolve_thread_setting(setting.as_deref()) {
+        Ok(Some(n)) => return n,
+        Ok(None) => {}
+        Err(warning) => eprintln!("{warning}"),
     }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
 }
 
+/// Resolve an explicit `PV_THREADS` setting: `Ok(Some(n))` for a
+/// positive integer, `Ok(None)` when the variable is unset, and
+/// `Err(warning)` — the exact stderr line to emit — when the variable
+/// is set to something unusable.
+fn resolve_thread_setting(value: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(v) = value else {
+        return Ok(None);
+    };
+    match v.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(Some(n)),
+        _ => Err(format!(
+            "warning: ignoring {THREADS_ENV}={v:?} (not a positive integer); \
+             falling back to available parallelism"
+        )),
+    }
+}
+
+/// An input slot the claiming worker takes from without a lock.
+///
+/// Safety contract: `take` may be called at most once per slot, by the
+/// single worker that claimed the slot's index from the atomic cursor.
+struct TakeCell<T>(UnsafeCell<Option<T>>);
+
+// One slot is only ever touched by the one worker that claimed its
+// index; the cursor's fetch_add is the exclusion proof.
+unsafe impl<T: Send> Sync for TakeCell<T> {}
+
+impl<T> TakeCell<T> {
+    fn new(value: T) -> TakeCell<T> {
+        TakeCell(UnsafeCell::new(Some(value)))
+    }
+
+    /// # Safety
+    /// The caller must be the unique claimant of this slot's index.
+    unsafe fn take(&self) -> T {
+        unsafe { (*self.0.get()).take().expect("item claimed twice") }
+    }
+}
+
+/// An output slot the claiming worker writes exactly once, read back by
+/// the caller after the scope join.
+struct SlotCell<U>(UnsafeCell<Option<U>>);
+
+unsafe impl<U: Send> Sync for SlotCell<U> {}
+
+impl<U> SlotCell<U> {
+    fn empty() -> SlotCell<U> {
+        SlotCell(UnsafeCell::new(None))
+    }
+
+    /// # Safety
+    /// The caller must be the unique claimant of this slot's index.
+    unsafe fn put(&self, value: U) {
+        unsafe {
+            debug_assert!((*self.0.get()).is_none(), "duplicate result write");
+            *self.0.get() = Some(value);
+        }
+    }
+
+    fn into_inner(self) -> Option<U> {
+        self.0.into_inner()
+    }
+}
+
 /// Map `f` over `items` on `threads` worker threads, preserving input
 /// order in the output.
 ///
-/// `f` receives `(index, item)` and its results are reassembled by
-/// index, so the returned vector is identical to the serial
-/// `items.into_iter().enumerate().map(...)` whenever `f` is a pure
-/// function of its arguments. Scheduling is dynamic: workers claim the
-/// next unclaimed index from a shared atomic cursor, so load imbalance
-/// across items costs at most one item's latency.
+/// `f` receives `(index, item)` and writes its result straight into the
+/// output slot of the same index, so the returned vector is identical
+/// to the serial `items.into_iter().enumerate().map(...)` whenever `f`
+/// is a pure function of its arguments. Scheduling is dynamic: workers
+/// claim the next unclaimed index from a shared atomic cursor, so load
+/// imbalance across items costs at most one item's latency.
+///
+/// The cursor's `fetch_add` returns each index to exactly one worker,
+/// which makes that worker the unique owner of the index's input and
+/// output slots — the take and the result write are plain unsynchronized
+/// accesses (no per-item mutex), published to the caller by the scope
+/// join's happens-before edge.
 ///
 /// With `threads <= 1`, or fewer than two items, everything runs on the
 /// calling thread with no pool at all — the 1-thread path *is* the
@@ -74,53 +151,39 @@ where
             .collect();
     }
     let workers = threads.min(n);
-    // Hand items out through Options so workers can take them by index
-    // without consuming the vector in order. Mutex (not UnsafeCell) for
-    // an unambiguously safe claim; each slot is locked exactly once.
-    let slots: Vec<Mutex<Option<T>>> =
-        items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<TakeCell<T>> = items.into_iter().map(TakeCell::new).collect();
+    let out: Vec<SlotCell<U>> = (0..n).map(|_| SlotCell::empty()).collect();
     let cursor = AtomicUsize::new(0);
 
-    let mut buffers: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let slots = &slots;
+            let out = &out;
             let cursor = &cursor;
             let f = &f;
-            handles.push(scope.spawn(move || {
-                let mut local: Vec<(usize, U)> = Vec::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let item = slots[i]
-                        .lock()
-                        .expect("item slot poisoned")
-                        .take()
-                        .expect("item claimed twice");
-                    local.push((i, f(i, item)));
+            handles.push(scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
                 }
-                local
+                // SAFETY: the fetch_add handed index `i` to this worker
+                // alone, so it is the unique accessor of both slots.
+                let item = unsafe { slots[i].take() };
+                let result = f(i, item);
+                unsafe { out[i].put(result) };
             }));
         }
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(v) => v,
-                Err(p) => std::panic::resume_unwind(p),
-            })
-            .collect()
+        for h in handles {
+            if let Err(p) = h.join() {
+                std::panic::resume_unwind(p);
+            }
+        }
     });
 
-    // Reassemble in input order.
-    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
-    out.resize_with(n, || None);
-    for (i, u) in buffers.drain(..).flatten() {
-        debug_assert!(out[i].is_none(), "duplicate result for index {i}");
-        out[i] = Some(u);
-    }
-    out.into_iter().map(|o| o.expect("missing result")).collect()
+    out.into_iter()
+        .map(|slot| slot.into_inner().expect("missing result"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -155,7 +218,7 @@ mod tests {
             })
         };
         let serial = run(1);
-        for threads in [2, 3, 8] {
+        for threads in [2, 3, 8, 16] {
             assert_eq!(serial, run(threads));
         }
     }
@@ -174,6 +237,16 @@ mod tests {
     }
 
     #[test]
+    fn unclaimed_items_drop_cleanly() {
+        // Non-Copy payloads: every item is either mapped or dropped, and
+        // every output arrives — exercises the UnsafeCell slots' Drop
+        // path and the take-exactly-once invariant under contention.
+        let items: Vec<String> = (0..50).map(|i| format!("payload-{i}")).collect();
+        let out = map_indexed(8, items, |_, s| s.len());
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
     #[should_panic(expected = "worker boom")]
     fn worker_panic_propagates() {
         map_indexed(2, (0..8u32).collect(), |_, x| {
@@ -187,5 +260,26 @@ mod tests {
     #[test]
     fn configured_threads_is_positive() {
         assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_setting_accepts_positive_integers() {
+        assert_eq!(resolve_thread_setting(Some("1")), Ok(Some(1)));
+        assert_eq!(resolve_thread_setting(Some("16")), Ok(Some(16)));
+        assert_eq!(resolve_thread_setting(Some(" 8 ")), Ok(Some(8)), "whitespace trims");
+        assert_eq!(resolve_thread_setting(None), Ok(None));
+    }
+
+    #[test]
+    fn rejected_thread_setting_warns_naming_the_value() {
+        for bad in ["0", "abc", "-3", "1.5", ""] {
+            let err = resolve_thread_setting(Some(bad))
+                .expect_err(&format!("{bad:?} should be rejected"));
+            assert!(
+                err.contains(&format!("{bad:?}")) && err.contains(THREADS_ENV),
+                "warning must name the variable and the rejected value: {err}"
+            );
+            assert_eq!(err.lines().count(), 1, "warning must be one line");
+        }
     }
 }

@@ -108,8 +108,8 @@ pub fn render_perf_telemetry(results: &StudyResults) -> String {
 /// The hierarchical span profile of the run: an indented tree of every
 /// profiled stage (phase-1/phase-2 probing, retries, disk intersection,
 /// cache lookups, report rendering) with per-path call counts and
-/// self/cumulative wall time. Like [`render_perf_telemetry`], this is
-/// **scheduling-dependent telemetry** — never part of determinism diffs.
+/// self/cumulative wall time. The timings are **wall-clock telemetry**
+/// — never part of determinism diffs.
 pub fn render_profile(results: &StudyResults) -> String {
     let mut out = String::new();
     let _ = writeln!(
