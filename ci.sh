@@ -20,6 +20,11 @@ cargo run -q --release --offline --example quickstart > /dev/null
 # stay deterministic and account for every proxy.
 cargo test -q --offline --test fault_campaign
 
+# Adversary smoke: active timing attacks must be caught (or provably
+# harmless), and an armed, defended study must stay byte-deterministic
+# across thread counts.
+cargo test -q --offline --test adversary_campaign
+
 # Parallelism determinism gate: the rendered study report — including
 # the observability block and the full JSONL event trace — must be
 # byte-identical whether the audit fans out over 1, 8, or 16 workers

@@ -44,10 +44,7 @@ fn bench_single_proxy(c: &mut Criterion) {
                 4,
             )
             .expect("tunnel up");
-            let mut prober = ProxyProber {
-                ctx: proxy_ctx,
-                attempts: 2,
-            };
+            let mut prober = ProxyProber::new(proxy_ctx, 2);
             let mut rng = StdRng::seed_from_u64(7);
             let two_phase =
                 run_two_phase(ctx.study.world.network_mut(), &server, &mut prober, &mut rng)
@@ -77,10 +74,7 @@ fn bench_single_proxy(c: &mut Criterion) {
                 4,
             )
             .expect("tunnel up");
-            let mut prober = ProxyProber {
-                ctx: proxy_ctx,
-                attempts: 2,
-            };
+            let mut prober = ProxyProber::new(proxy_ctx, 2);
             let mut rng = StdRng::seed_from_u64(7);
             let two_phase =
                 run_two_phase(ctx.study.world.network_mut(), &server, &mut prober, &mut rng)

@@ -13,6 +13,7 @@
 //! order, so they must be byte-identical at any thread count.
 
 use vpnstudy::audit::Study;
+use vpnstudy::campaign::{shaping_plan, AdversaryModel};
 use vpnstudy::report;
 use vpnstudy::StudyConfig;
 
@@ -35,4 +36,22 @@ fn main() {
     );
     println!("---");
     print!("{}", results.trace_jsonl());
+
+    // The same gate with the active-adversary layer armed and the
+    // Byzantine defense on: holds, selective timeouts, collusion,
+    // self-ping inflation, the challenge sweep, and every `defense`
+    // event must be just as scheduling-independent as the honest run.
+    let mut armed = Study::build(StudyConfig::small(0xd1ff));
+    armed.config.defense.enabled = true;
+    let (plan, _) = shaping_plan(&armed, AdversaryModel::FullShaping, 0.66);
+    *armed.world.network_mut().adversary_mut() = plan;
+    let armed_results = armed.run();
+    println!("--- armed ---");
+    print!("{}", report::render_overall(&armed, &armed_results));
+    println!("---");
+    print!("{}", report::render_reliability(&armed_results));
+    println!("---");
+    print!("{}", report::render_observability(&armed_results));
+    println!("---");
+    print!("{}", armed_results.trace_jsonl());
 }

@@ -36,6 +36,7 @@ const FIGURES: &[(&str, &str)] = &[
     ("headline", "the paper's headline numbers"),
     ("ablation", "CBG++ design-choice ablations (not a paper figure)"),
     ("faults", "fault sweep: verdicts under loss + outages (not a paper figure)"),
+    ("adversary", "adversarial campaign: detection rate vs adversary strength (not a paper figure)"),
     ("trace", "observability trace: probe outcomes, retries, region funnel (not a paper figure)"),
     ("profile", "hierarchical span profile of the audit run, wall-clock (not a paper figure)"),
 ];
@@ -137,6 +138,7 @@ fn main() {
             "headline" => figures::headline_numbers(study_ctx(&mut study, scale)),
             "ablation" => figures::ablation_cbgpp(crowd_ctx(&mut crowd, scale)),
             "faults" => figures::fault_sweep(scale),
+            "adversary" => figures::adversary_campaign(scale),
             "trace" => figures::trace_observability(study_ctx(&mut study, scale)),
             "profile" => figures::profile_spans(study_ctx(&mut study, scale)),
             _ => unreachable!("validated above"),

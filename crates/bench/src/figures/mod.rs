@@ -6,6 +6,7 @@
 //! what reproduces the paper (see EXPERIMENTS.md for the side-by-side).
 
 pub mod ablation;
+pub mod adversary;
 pub mod calibration;
 pub mod faultsweep;
 pub mod market;
@@ -16,6 +17,7 @@ pub mod trace;
 pub mod validation;
 
 pub use ablation::{ablation_cbgpp, fig3_fig8_maps};
+pub use adversary::adversary_campaign;
 pub use faultsweep::fault_sweep;
 pub use calibration::{fig10_estimate_ratios, fig2_calibration};
 pub use market::fig14_market;

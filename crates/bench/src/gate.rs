@@ -30,7 +30,8 @@ use geokit::{GeoGrid, GeoPoint, Region, SphericalCap};
 use geoloc::algorithms::CbgPlusPlus;
 use geoloc::assess::assess_claim;
 use geoloc::multilateration::{
-    intersect_constraints, max_consistent_subset, DiskCache, RingConstraint,
+    intersect_constraints, max_consistent_subset, pairwise_infeasible_flags,
+    robust_max_consistent_subset, DiskCache, RingConstraint,
 };
 use geoloc::proxy::ProxyContext;
 use geoloc::twophase::{run_two_phase, ProxyProber};
@@ -97,6 +98,24 @@ fn inconsistent_disks() -> (Vec<RingConstraint>, Region) {
     (constraints, Region::full(GeoGrid::new(1.0)))
 }
 
+/// A Byzantine constraint set: eight honest disks around a European
+/// target plus two deflated colluder disks that pairwise-conflict with
+/// them, exercising the defense's full flag-then-trim path.
+fn byzantine_disks() -> (Vec<RingConstraint>, Region) {
+    let target = GeoPoint::new(48.0, 11.0);
+    let mut constraints: Vec<RingConstraint> = (0..8)
+        .map(|i| {
+            let lm = target.destination(45.0 * f64::from(i), 1_200.0);
+            RingConstraint::disk(lm, 1_500.0)
+        })
+        .collect();
+    for i in 0..2 {
+        let lm = target.destination(60.0 + 180.0 * f64::from(i), 7_000.0);
+        constraints.push(RingConstraint::disk(lm, 400.0));
+    }
+    (constraints, Region::full(GeoGrid::new(1.0)))
+}
+
 /// Measure the gate's smoke suite at `samples` samples per bench.
 /// Expensive setup (the small study world) happens once, outside the
 /// timed loops.
@@ -117,6 +136,20 @@ pub fn smoke_suite(samples: usize) -> Vec<Sampled> {
     let (bad, bad_mask) = inconsistent_disks();
     out.push(run_sampled("gate/counting_sweep", samples, |b| {
         b.iter(|| max_consistent_subset(black_box(&bad), black_box(&bad_mask)))
+    }));
+
+    let (mixed, mixed_mask) = byzantine_disks();
+    out.push(run_sampled("gate/robust_subset", samples, |b| {
+        b.iter(|| {
+            let report = pairwise_infeasible_flags(black_box(&mixed));
+            robust_max_consistent_subset(
+                black_box(&mixed),
+                &report.flagged,
+                black_box(&mixed_mask),
+                None,
+                None,
+            )
+        })
     }));
 
     let cache = DiskCache::new(GeoGrid::new(1.0));
@@ -168,10 +201,7 @@ pub fn smoke_suite(samples: usize) -> Vec<Sampled> {
                 4,
             )
             .expect("tunnel up");
-            let mut prober = ProxyProber {
-                ctx: proxy_ctx,
-                attempts: 2,
-            };
+            let mut prober = ProxyProber::new(proxy_ctx, 2);
             let mut rng = StdRng::seed_from_u64(7);
             let two_phase =
                 run_two_phase(ctx.study.world.network_mut(), &server, &mut prober, &mut rng)
@@ -438,6 +468,7 @@ mod tests {
                 "gate/cap_raster",
                 "gate/disk_intersect",
                 "gate/counting_sweep",
+                "gate/robust_subset",
                 "gate/cache_hit",
                 "gate/phase1_server_build",
                 "gate/audit_one_proxy",

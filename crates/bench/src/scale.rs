@@ -42,6 +42,7 @@ impl Scale {
                 crowd_workers: 55,
                 reliability: geoloc::ReliabilityConfig::default(),
                 obs_level: obs::Level::Events,
+                defense: geoloc::DefenseConfig::default(),
             },
             Scale::Paper => StudyConfig::paper(),
         }

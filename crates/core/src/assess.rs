@@ -20,6 +20,15 @@ pub enum Assessment {
     Uncertain,
     /// Prediction region misses the claimed country entirely.
     False,
+    /// The measurements themselves look *adversarially shaped*: the
+    /// geometric verdict (whatever it was) is withheld because the
+    /// defense layer found named evidence of tampering — pairwise
+    /// speed-of-light conflicts between landmarks, a failed disjoint-
+    /// subset quorum, physically impossible corrected RTTs, or an
+    /// implausible excess of dead landmarks. Never produced by the
+    /// baseline pipeline; only [`run_defense`](crate::defense) degrades
+    /// a verdict to this.
+    Suspicious,
 }
 
 /// Continent-level refinement recorded alongside the assessment

@@ -35,6 +35,7 @@
 
 pub mod algorithms;
 pub mod assess;
+pub mod defense;
 pub mod delay_model;
 pub mod disambiguate;
 pub mod effectiveness;
@@ -47,6 +48,7 @@ pub mod twophase;
 
 pub use algorithms::{Geolocator, Prediction};
 pub use assess::Assessment;
+pub use defense::{run_defense, DefenseConfig, DefenseReport, TunnelPings};
 pub use observation::Observation;
 pub use reliability::{
     MeasurementDiagnostics, ProbeScheduler, ReliabilityConfig, RetryPolicy,

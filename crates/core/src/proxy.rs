@@ -81,11 +81,22 @@ fn min_of<F: FnMut() -> Option<f64>>(attempts: usize, mut f: F) -> Option<f64> {
 /// constraint — so a corrupted reading must survive to be filtered
 /// upstream, not be laundered into fake precision).
 pub fn correct_indirect_rtt(measured_ms: f64, self_ping_ms: f64, eta: f64) -> f64 {
+    correct_indirect_rtt_checked(measured_ms, self_ping_ms, eta).0
+}
+
+/// [`correct_indirect_rtt`] plus an *infeasibility flag*: true when the
+/// subtraction went negative, i.e. the tunnel leg `η·C` claims to be
+/// longer than the whole through-proxy path `B`. Physically impossible
+/// for an honest proxy (light doesn't go backwards) — exactly what an
+/// adversary inflating its self-ping produces — so the caller should
+/// count it in `MeasurementDiagnostics::infeasible_readings` rather than
+/// silently accept the clamped 0 ms (the tightest possible constraint).
+pub fn correct_indirect_rtt_checked(measured_ms: f64, self_ping_ms: f64, eta: f64) -> (f64, bool) {
     let corrected = measured_ms - eta * self_ping_ms;
     if !corrected.is_finite() {
-        return f64::NAN;
+        return (f64::NAN, false);
     }
-    corrected.max(0.0)
+    (corrected.max(0.0), corrected < 0.0)
 }
 
 /// Everything needed to measure landmarks *through* one proxy: the
@@ -146,12 +157,31 @@ impl ProxyContext {
         port: u16,
         attempts: usize,
     ) -> Option<f64> {
+        self.measure_landmark_port_checked(network, landmark, port, attempts)
+            .map(|(ms, _)| ms)
+    }
+
+    /// [`measure_landmark_port`](ProxyContext::measure_landmark_port)
+    /// plus the infeasibility flag from
+    /// [`correct_indirect_rtt_checked`] — true when the tunnel-leg
+    /// subtraction went negative and the reading was clamped to zero.
+    pub fn measure_landmark_port_checked(
+        &self,
+        network: &mut Network,
+        landmark: NodeId,
+        port: u16,
+        attempts: usize,
+    ) -> Option<(f64, bool)> {
         let raw = min_of(attempts, || {
             let d = network
                 .tcp_connect_via_proxy_rtt(self.client, self.proxy, landmark, port)?;
             Some(network.corrupt_rtt_ms(d.as_ms()))
         })?;
-        Some(correct_indirect_rtt(raw, self.self_ping_ms, self.eta))
+        Some(correct_indirect_rtt_checked(
+            raw,
+            self.self_ping_ms,
+            self.eta,
+        ))
     }
 }
 
@@ -224,6 +254,18 @@ mod tests {
     fn correction_never_goes_negative() {
         assert_eq!(correct_indirect_rtt(5.0, 100.0, 0.5), 0.0);
         assert_eq!(correct_indirect_rtt(30.0, 20.0, 0.5), 20.0);
+    }
+
+    #[test]
+    fn checked_correction_flags_impossible_readings() {
+        // Negative after subtraction: clamped to zero AND flagged.
+        assert_eq!(correct_indirect_rtt_checked(5.0, 100.0, 0.5), (0.0, true));
+        // Feasible: passed through, not flagged.
+        assert_eq!(correct_indirect_rtt_checked(30.0, 20.0, 0.5), (20.0, false));
+        // NaN survives unflagged — corrupted, not physically impossible;
+        // the scheduler's sanitation discards it.
+        let (ms, flag) = correct_indirect_rtt_checked(f64::NAN, 20.0, 0.5);
+        assert!(ms.is_nan() && !flag);
     }
 
     #[test]

@@ -94,6 +94,12 @@ pub struct MeasurementDiagnostics {
     /// Whether the phase-1 continent quorum was missed and the engine
     /// fell back to an all-continent phase-2 sweep.
     pub quorum_degraded: bool,
+    /// Corrected readings that went *negative* in the tunnel-leg
+    /// subtraction (`A = B − η·C < 0`) and were clamped to zero.
+    /// Physically impossible for an honest path — the signature of an
+    /// adversary inflating its self-ping (or a badly mis-estimated η) —
+    /// so the defense layer treats a high count as evidence.
+    pub infeasible_readings: usize,
 }
 
 impl MeasurementDiagnostics {
@@ -115,6 +121,7 @@ impl MeasurementDiagnostics {
         self.phase1_responsive += other.phase1_responsive;
         self.phase1_total += other.phase1_total;
         self.quorum_degraded |= other.quorum_degraded;
+        self.infeasible_readings += other.infeasible_readings;
     }
 }
 

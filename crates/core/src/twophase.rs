@@ -128,24 +128,63 @@ impl RttProber for WebProber {
 }
 
 /// Through-proxy measurement with η correction (§5.3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProxyProberStats {
+    /// Readings whose tunnel-leg subtraction went negative and were
+    /// clamped to zero (see
+    /// [`correct_indirect_rtt_checked`](crate::proxy::correct_indirect_rtt_checked)).
+    pub infeasible_readings: usize,
+}
+
+/// Through-proxy measurement with η correction (§5.3).
 #[derive(Debug, Clone, Copy)]
 pub struct ProxyProber {
     /// The established tunnel context.
     pub ctx: ProxyContext,
     /// Tunnel connects per landmark (minimum taken).
     pub attempts: usize,
+    /// Tally of physically impossible readings, harvested by the audit
+    /// into [`MeasurementDiagnostics::infeasible_readings`] post-run.
+    pub stats: ProxyProberStats,
+}
+
+impl ProxyProber {
+    /// A prober over an established tunnel context.
+    pub fn new(ctx: ProxyContext, attempts: usize) -> ProxyProber {
+        ProxyProber {
+            ctx,
+            attempts,
+            stats: ProxyProberStats::default(),
+        }
+    }
+
+    fn checked(&mut self, network: &mut Network, landmark: NodeId, port: u16) -> Option<f64> {
+        let (ms, infeasible) =
+            self.ctx
+                .measure_landmark_port_checked(network, landmark, port, self.attempts)?;
+        if infeasible {
+            // A negative corrected RTT is physically impossible — the
+            // tunnel-leg subtraction overshot the whole measurement. It
+            // backs no constraint: count it (the defense layer treats a
+            // high count as adversary evidence) and report no reading
+            // rather than propagating a clamped zero into a disk.
+            self.stats.infeasible_readings += 1;
+            network.recorder().count("rel.infeasible_reading", 1);
+            return None;
+        }
+        Some(ms)
+    }
 }
 
 impl RttProber for ProxyProber {
     fn probe(&mut self, network: &mut Network, landmark: NodeId) -> Option<f64> {
-        self.ctx.measure_landmark(network, landmark, self.attempts)
+        self.checked(network, landmark, 80)
     }
 
     fn probe_fallback(&mut self, network: &mut Network, landmark: NodeId) -> Option<f64> {
         // Port 443: a landmark rate-limiting or filtering port 80 still
         // answers its TLS port.
-        self.ctx
-            .measure_landmark_port(network, landmark, 443, self.attempts)
+        self.checked(network, landmark, 443)
     }
 }
 

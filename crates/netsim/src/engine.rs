@@ -23,6 +23,7 @@
 //! completions. Determinism comes from the seeded RNG and a sequence
 //! number that breaks simultaneous-event ties.
 
+use crate::adversary::{AdversaryPlan, AdversaryTally};
 use crate::delay::DelayModel;
 use crate::fault::FaultPlan;
 use crate::policy::SynResponse;
@@ -219,6 +220,10 @@ pub struct Engine<'a, R: Rng> {
     router: &'a Router,
     model: &'a DelayModel,
     faults: &'a FaultPlan,
+    /// Active-adversary hooks (targeted delay, selective timeout,
+    /// self-ping padding). `None` — the common case — is equivalent to
+    /// an empty plan and costs one branch per relevant packet.
+    adversary: Option<&'a AdversaryPlan>,
     rng: &'a mut R,
     queue: BinaryHeap<Event>,
     seq: u64,
@@ -235,6 +240,8 @@ pub struct Engine<'a, R: Rng> {
     trace: Option<Vec<TraceEvent>>,
     /// Loss-cause tally for this run (read by the `Network` facade).
     losses: LossTally,
+    /// Adversary-intervention tally for this run (read by the facade).
+    adv_tally: AdversaryTally,
 }
 
 impl<'a, R: Rng> Engine<'a, R> {
@@ -251,6 +258,7 @@ impl<'a, R: Rng> Engine<'a, R> {
             router,
             model,
             faults,
+            adversary: None,
             rng,
             queue: BinaryHeap::new(),
             seq: 0,
@@ -261,12 +269,24 @@ impl<'a, R: Rng> Engine<'a, R> {
             default_ttl: 64,
             trace: None,
             losses: LossTally::default(),
+            adv_tally: AdversaryTally::default(),
         }
+    }
+
+    /// Attach an adversary plan for this run. Equivalent to not calling
+    /// this when the plan is inactive.
+    pub fn set_adversary(&mut self, plan: &'a AdversaryPlan) {
+        self.adversary = plan.is_active().then_some(plan);
     }
 
     /// Loss causes tallied so far in this run.
     pub fn losses(&self) -> LossTally {
         self.losses
+    }
+
+    /// Adversary interventions tallied so far in this run.
+    pub fn adversary_tally(&self) -> AdversaryTally {
+        self.adv_tally
     }
 
     /// Enable packet tracing for this run (records every arrival).
@@ -464,6 +484,20 @@ impl<'a, R: Rng> Engine<'a, R> {
                 | PacketKind::TunnelSelfPingReply
         ) {
             at = at + SimDuration::from_ms(self.model.vpn_forward_draw_ms(self.rng));
+            // Adversary tactic (c): an adversarial proxy pads its own
+            // self-ping legs so the client's η correction over-subtracts.
+            if matches!(
+                packet.kind,
+                PacketKind::TunnelSelfPing | PacketKind::TunnelSelfPingReply
+            ) {
+                if let Some(adv) = self.adversary {
+                    let pad = adv.self_ping_extra_ms(here);
+                    if pad > 0.0 {
+                        self.adv_tally.self_ping_padded += 1;
+                        at = at + SimDuration::from_ms(pad);
+                    }
+                }
+            }
         }
         let policy = self.topo.node(here).policy.clone();
         match packet.kind {
@@ -488,6 +522,17 @@ impl<'a, R: Rng> Engine<'a, R> {
                 }
             },
             PacketKind::TunnelConnect { target, port } => {
+                // Adversary tactic (b): swallow connects toward landmarks
+                // whose constraints would expose the true location. To
+                // the client this is indistinguishable from an ordinary
+                // probe timeout.
+                if self
+                    .adversary
+                    .is_some_and(|adv| adv.times_out(here, target))
+                {
+                    self.adv_tally.timeouts += 1;
+                    return;
+                }
                 // The proxy opens the onward connection. An adversarial
                 // proxy may instead forge an immediate answer (§8: it sees
                 // the SYNs, so it can forge SYN-ACKs without guessing
@@ -521,7 +566,19 @@ impl<'a, R: Rng> Engine<'a, R> {
                     let (_, _, client) = self.relay_targets.swap_remove(idx);
                     // Relaying the answer down the tunnel costs another
                     // VPN forwarding step.
-                    let at = at + SimDuration::from_ms(self.model.vpn_forward_draw_ms(self.rng));
+                    let mut at =
+                        at + SimDuration::from_ms(self.model.vpn_forward_draw_ms(self.rng));
+                    // Adversary tactic (a): hold this landmark's reply so
+                    // the client's observed RTT matches the distance from
+                    // a faked coordinate (`packet.src` is the landmark
+                    // that answered the onward SYN).
+                    if let Some(adv) = self.adversary {
+                        let hold = adv.hold_ms(here, packet.src);
+                        if hold > 0.0 {
+                            self.adv_tally.held_replies += 1;
+                            at = at + SimDuration::from_ms(hold);
+                        }
+                    }
                     self.send(
                         at,
                         packet.probe,

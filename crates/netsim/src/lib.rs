@@ -39,6 +39,7 @@
 //! advice: CPU-bound simulation wants plain deterministic code, not an
 //! async runtime).
 
+pub mod adversary;
 pub mod builder;
 pub mod delay;
 pub mod engine;
@@ -49,6 +50,7 @@ pub mod routing;
 pub mod time;
 pub mod topology;
 
+pub use adversary::{AdversaryPlan, AdversaryTally, ProxyTactic};
 pub use builder::{WorldNet, WorldNetConfig};
 pub use fault::{FaultPlan, OutageWindow, RateLimit};
 pub use network::Network;

@@ -8,6 +8,7 @@
 //! draw from the identical delay model along the identical routes. The
 //! `des_and_sampler_agree` test pins the equivalence.
 
+use crate::adversary::{AdversaryPlan, AdversaryTally};
 use crate::delay::{DelayModel, PathDelays};
 use crate::engine::{Engine, LossTally, PacketKind, ProbeOutcome, TraceEvent};
 use crate::fault::FaultPlan;
@@ -40,6 +41,10 @@ pub struct Network {
     /// `&FaultPlan` during runs — then forks deep-copy (see
     /// [`fork`](Network::fork)).
     faults: Arc<FaultPlan>,
+    /// The active-adversary plan. `Arc`-shared copy-on-write like
+    /// `model` — it carries no interior-mutable state, so forks always
+    /// share it and mutation clones first (`Arc::make_mut`).
+    adversary: Arc<AdversaryPlan>,
     rng: StdRng,
     /// The persistent simulation clock: probes are injected at `now`,
     /// and `now` advances by each probe's wall time (or the probe
@@ -67,6 +72,7 @@ impl Network {
             router: Arc::new(Router::new()),
             model: Arc::new(model),
             faults: Arc::new(FaultPlan::default()),
+            adversary: Arc::new(AdversaryPlan::default()),
             rng: StdRng::seed_from_u64(seed),
             now: SimTime::ZERO,
             probe_timeout: SimDuration::from_ms(DEFAULT_PROBE_TIMEOUT_MS),
@@ -104,6 +110,7 @@ impl Network {
             router: Arc::clone(&self.router),
             model: Arc::clone(&self.model),
             faults,
+            adversary: Arc::clone(&self.adversary),
             rng: StdRng::seed_from_u64(seed),
             now: self.now,
             probe_timeout: self.probe_timeout,
@@ -178,6 +185,19 @@ impl Network {
         Arc::make_mut(&mut self.faults)
     }
 
+    /// The active-adversary plan in force (read-only).
+    pub fn adversary(&self) -> &AdversaryPlan {
+        &self.adversary
+    }
+
+    /// Mutable adversary plan (targeted delays, selective timeouts,
+    /// self-ping inflation, colluding landmarks). If forks share the
+    /// plan it is copied-on-write — forks keep the plan as it was when
+    /// they were taken.
+    pub fn adversary_mut(&mut self) -> &mut AdversaryPlan {
+        Arc::make_mut(&mut self.adversary)
+    }
+
     /// Apply the fault plan's measurement-corruption model to a
     /// completed RTT reading (ms). Identity — and RNG-neutral — when the
     /// corrupt chance is zero. The corrupted reading may be NaN;
@@ -206,19 +226,34 @@ impl Network {
             _ => None,
         };
         let mut engine = Engine::new(&self.topo, &self.router, &self.model, &self.faults, &mut self.rng);
+        engine.set_adversary(&self.adversary);
         let Some(probe) = engine.inject(start, src, dst, kind, ttl) else {
             self.obs.count("net.probe.unroutable", 1);
             return None;
         };
         let outcomes = engine.run();
         let losses = engine.losses();
+        let adv_tally = engine.adversary_tally();
         drop(engine);
         self.obs.count("net.probe.sent", 1);
         self.record_losses(&losses);
+        self.record_adversary(&adv_tally);
         match outcomes.into_iter().find(|(p, _)| *p == probe) {
             Some((_, ProbeOutcome::Completed { at, reply })) => {
                 self.now = at;
-                let rtt = at.since(start);
+                let mut rtt = at.since(start);
+                // Adversary tactic (d): a colluding landmark answers the
+                // proxy's probe before it physically could (pre-sent
+                // replies), modelled as deterministic deflation of the
+                // completed reading. The clock keeps the true arrival.
+                if let Some(target) = tunnel_target {
+                    let (deflated, colluded) =
+                        self.adversary.collude_reading(dst, target, rtt);
+                    if colluded {
+                        rtt = deflated;
+                        self.obs.count("net.adv.collude", 1);
+                    }
+                }
                 if self.obs.counters_enabled() {
                     self.obs.count("net.probe.completed", 1);
                     self.obs.record("net.probe.rtt_us", rtt.as_nanos() / 1_000);
@@ -258,6 +293,25 @@ impl Network {
                     }
                 }
                 None
+            }
+        }
+    }
+
+    /// Fold one engine run's adversary tally into the `net.adv.*`
+    /// counters. These are deterministic-compartment counters: they are
+    /// part of the determinism contract, and they stay at zero when no
+    /// adversary is configured.
+    fn record_adversary(&self, t: &AdversaryTally) {
+        if t.total() == 0 || !self.obs.counters_enabled() {
+            return;
+        }
+        for (n, name) in [
+            (t.held_replies, "net.adv.hold"),
+            (t.timeouts, "net.adv.timeout"),
+            (t.self_ping_padded, "net.adv.self_ping_pad"),
+        ] {
+            if n > 0 {
+                self.obs.count(name, u64::from(n));
             }
         }
     }
@@ -393,6 +447,7 @@ impl Network {
             &self.faults,
             &mut self.rng,
         );
+        engine.set_adversary(&self.adversary);
         engine.enable_trace();
         let Some(probe) = engine.inject(start, client, target, PacketKind::TcpSyn { port }, None)
         else {
@@ -805,5 +860,87 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(build(), build());
+    }
+
+    /// One full measurement round (tunnel connect + self-ping), nanos.
+    fn adversarial_round(
+        configure: impl FnOnce(&mut AdversaryPlan, NodeId, NodeId),
+    ) -> (Vec<u64>, Vec<u64>) {
+        let (mut n, c, p, l) = net();
+        configure(n.adversary_mut(), p, l);
+        let tunnel = (0..10)
+            .filter_map(|_| n.tcp_connect_via_proxy_rtt(c, p, l, 80))
+            .map(|d| d.as_nanos())
+            .collect();
+        let self_ping = (0..10)
+            .filter_map(|_| n.self_ping_via_proxy_rtt(c, p))
+            .map(|d| d.as_nanos())
+            .collect();
+        (tunnel, self_ping)
+    }
+
+    #[test]
+    fn empty_adversary_plan_is_rng_neutral() {
+        // Installing (then clearing) a plan must not perturb a single
+        // draw: the whole RTT stream is byte-identical to no plan at all.
+        let baseline = adversarial_round(|_, _, _| {});
+        let cleared = adversarial_round(|adv, p, l| {
+            adv.tactic_mut(p).hold_reply(l, 50.0);
+            adv.clear();
+        });
+        assert_eq!(baseline, cleared);
+    }
+
+    #[test]
+    fn targeted_hold_delays_exactly_the_held_landmark() {
+        let baseline = adversarial_round(|_, _, _| {});
+        let held = adversarial_round(|adv, p, l| {
+            adv.tactic_mut(p).hold_reply(l, 40.0);
+        });
+        // Every tunnel reading grows by exactly the hold; the RNG stream
+        // is untouched, so the difference is exactly 40 ms each.
+        for (b, h) in baseline.0.iter().zip(&held.0) {
+            assert_eq!(h - b, 40_000_000, "hold must add exactly 40 ms");
+        }
+        // Self-pings are unaffected by a reply hold.
+        assert_eq!(baseline.1, held.1);
+    }
+
+    #[test]
+    fn selective_timeout_starves_only_tunnel_connects() {
+        let (mut n, c, p, l) = net();
+        n.adversary_mut().tactic_mut(p).timeout_landmark(l);
+        assert!(n.tcp_connect_via_proxy_rtt(c, p, l, 80).is_none());
+        // Direct measurement of the same landmark still works: the
+        // adversary controls only its own tunnel.
+        assert!(n.tcp_connect_rtt(c, l, 80).is_some());
+        assert!(n.self_ping_via_proxy_rtt(c, p).is_some());
+    }
+
+    #[test]
+    fn self_ping_inflation_pads_both_legs() {
+        let baseline = adversarial_round(|_, _, _| {});
+        let padded = adversarial_round(|adv, p, _| {
+            adv.tactic_mut(p).inflate_self_ping(15.0);
+        });
+        // Tunnel connects are untouched; each self-ping crosses the
+        // proxy twice, so it grows by exactly 2 × 15 ms.
+        assert_eq!(baseline.0, padded.0);
+        for (b, s) in baseline.1.iter().zip(&padded.1) {
+            assert_eq!(s - b, 30_000_000, "pad must add exactly 30 ms");
+        }
+    }
+
+    #[test]
+    fn colluding_landmark_deflates_the_reading_not_the_clock() {
+        let (mut n, c, p, l) = net();
+        let honest = n.tcp_connect_via_proxy_rtt(c, p, l, 80).unwrap();
+        let t_after_honest = n.now();
+        let (mut n2, c2, p2, l2) = net();
+        n2.adversary_mut().tactic_mut(p2).add_colluder(l2, 0.5);
+        let deflated = n2.tcp_connect_via_proxy_rtt(c2, p2, l2, 80).unwrap();
+        assert!((deflated.as_ms() - honest.as_ms() * 0.5).abs() < 1e-6);
+        // The simulation clock still advances by the true arrival time.
+        assert_eq!(n2.now(), t_after_honest);
     }
 }

@@ -8,12 +8,14 @@ use atlas::{CalibrationDb, Constellation, LandmarkServer};
 use geokit::{GeoGrid, GeoPoint, Region};
 use geoloc::algorithms::CbgPlusPlus;
 use geoloc::assess::{assess_claim, Assessment, ClaimVerdict, ContinentVerdict};
+use geoloc::defense::{run_defense, DefenseReport, TunnelPings};
 use geoloc::disambiguate::{by_data_centers, by_touched_sets, Disambiguation};
 use geoloc::iclab::{IclabChecker, IclabVerdict};
 use geoloc::multilateration::{DiskCache, DiskCacheStats};
 use geoloc::proxy::{estimate_eta, EtaEstimate, ProxyContext, DEFAULT_ETA};
 use geoloc::reliability::{MeasurementDiagnostics, ProbeScheduler};
-use geoloc::twophase::{run_two_phase_reliable, MeasurementStatus, ProxyProber};
+use geoloc::observation::Observation;
+use geoloc::twophase::{run_two_phase_reliable, MeasurementStatus, ProxyProber, RttProber};
 use netsim::{FilterPolicy, Network, NodeId, SimDuration, WorldNet, WorldNetConfig};
 use obs::Recorder;
 use simrng::rngs::StdRng;
@@ -49,6 +51,10 @@ pub struct ProxyRecord {
     /// What the measurement cost: attempts, retries, timeouts, dead
     /// landmarks, quorum degradation.
     pub diagnostics: MeasurementDiagnostics,
+    /// What the Byzantine-defense layer found, when the study ran with
+    /// [`DefenseConfig::enabled`](geoloc::DefenseConfig). `None` when
+    /// the defense is off (the default).
+    pub defense: Option<DefenseReport>,
 }
 
 /// Why a proxy produced no [`ProxyRecord`].
@@ -406,10 +412,7 @@ fn measure_one_proxy(proxy: DeployedProxy, ctx: &AuditCtx<'_>) -> ProxyOutcome {
             }),
         );
     };
-    let prober = ProxyProber {
-        ctx: tunnel,
-        attempts: config.attempts_per_landmark,
-    };
+    let prober = ProxyProber::new(tunnel, config.attempts_per_landmark);
     let mut scheduler = ProbeScheduler::new(
         prober,
         reliability.retry,
@@ -419,6 +422,11 @@ fn measure_one_proxy(proxy: DeployedProxy, ctx: &AuditCtx<'_>) -> ProxyOutcome {
     let mut diagnostics = outcome.diagnostics;
     diagnostics.attempts += establish_attempts;
     diagnostics.retries += establish_attempts - 1;
+    // Physically impossible corrected readings (clamped negatives) are
+    // tallied by the prober as it probes; fold them into the proxy's
+    // diagnostics so the defense layer and the reliability report see
+    // them.
+    diagnostics.infeasible_readings += scheduler.inner.stats.infeasible_readings;
     let two_phase = match (outcome.status, outcome.result) {
         (MeasurementStatus::Ok, Some(r)) => r,
         (MeasurementStatus::InsufficientData, _) => {
@@ -472,6 +480,117 @@ fn measure_one_proxy(proxy: DeployedProxy, ctx: &AuditCtx<'_>) -> ProxyOutcome {
         }
     }
 
+    // Byzantine defense (opt-in): look for evidence of actively shaped
+    // measurements, re-locate on the trimmed observation set, and
+    // withhold any non-False verdict when evidence is found.
+    let mut defense = None;
+    if config.defense.enabled {
+        let defense_span = rec.profile_span("audit.defense");
+        // Challenge sweep: re-probe a deterministic stride across the
+        // *whole* constellation. The two-phase path only probes what
+        // the (possibly shaped) phase-1 guess selects — the one set an
+        // active adversary rehearses — so readings it never expected to
+        // produce are the cheapest source of contradictions.
+        let mut defense_obs = two_phase.observations.clone();
+        if config.defense.challenge_fraction > 0.0 {
+            let landmarks = server.constellation().landmarks();
+            let total = landmarks.len();
+            let want = ((total as f64) * config.defense.challenge_fraction).ceil() as usize;
+            let stride = total.div_ceil(want.max(1)).max(1);
+            let infeasible_before = scheduler.inner.stats.infeasible_readings;
+            let mut swept_dead = 0usize;
+            let mut swept_ok = 0usize;
+            for id in (0..total).step_by(stride) {
+                let lm = &landmarks[id];
+                let seen = defense_obs.iter().any(|o| {
+                    o.landmark.lat().to_bits() == lm.location.lat().to_bits()
+                        && o.landmark.lon().to_bits() == lm.location.lon().to_bits()
+                });
+                if seen {
+                    continue;
+                }
+                let reading = if lm.port_80_open {
+                    scheduler.inner.probe(&mut net, lm.node)
+                } else {
+                    scheduler.inner.probe_fallback(&mut net, lm.node)
+                };
+                match reading {
+                    Some(ms) => {
+                        swept_ok += 1;
+                        defense_obs.push(Observation::new(
+                            lm.location,
+                            ms / 2.0,
+                            server.calibration_for(id).clone(),
+                        ));
+                    }
+                    None => swept_dead += 1,
+                }
+            }
+            diagnostics.infeasible_readings +=
+                scheduler.inner.stats.infeasible_readings - infeasible_before;
+            diagnostics.landmarks_measured += swept_ok;
+            diagnostics.dead_landmarks += swept_dead;
+        }
+        // Pingable proxies also get the direct-ping cross-check: an
+        // honest tunnel satisfies η·C ≈ D (Fig. 13), so a wildly larger
+        // self-ping is evidence no amount of reply-shaping can hide.
+        let direct_ping_ms = if proxy.pingable {
+            let mut best: Option<f64> = None;
+            for _ in 0..config.self_ping_attempts {
+                if let Some(d) = net.ping(client, proxy.node) {
+                    let ms = d.as_ms();
+                    best = Some(best.map_or(ms, |b: f64| b.min(ms)));
+                }
+            }
+            best
+        } else {
+            None
+        };
+        let report = run_defense(
+            &defense_obs,
+            &diagnostics,
+            TunnelPings {
+                self_ping_ms: scheduler.inner.ctx.self_ping_ms,
+                direct_ping_ms,
+                eta,
+            },
+            mask,
+            Some(cache),
+            &rec,
+            &config.defense,
+        );
+        if !report.flagged.is_empty() {
+            // Re-locate without the flagged observations: the robust
+            // verdict stands on the readings no landmark pair disputes
+            // (challenge-sweep readings included).
+            let kept: Vec<_> = defense_obs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !report.flagged.contains(i))
+                .map(|(_, o)| o.clone())
+                .collect();
+            let robust = CbgPlusPlus.locate_traced(&kept, mask, Some(cache), &rec);
+            refined = assess_claim(atlas, &robust.region, proxy.claimed);
+            if refined.assessment == Assessment::Uncertain {
+                if let Disambiguation::Resolved(c) = by_data_centers(registry, &robust.region) {
+                    refined.assessment = if c == proxy.claimed {
+                        Assessment::Credible
+                    } else {
+                        Assessment::False
+                    };
+                }
+            }
+        }
+        // Evidence of tampering withholds any verdict short of False:
+        // a proven-false claim stays false (the lie is established), but
+        // "credible" readings from a caught manipulator prove nothing.
+        if report.suspicious() && refined.assessment != Assessment::False {
+            refined.assessment = Assessment::Suspicious;
+        }
+        defense = Some(report);
+        drop(defense_span);
+    }
+
     let iclab = IclabChecker::default().check(atlas, proxy.claimed, &two_phase.observations);
     drop(assess_span);
     drop(span);
@@ -494,6 +613,7 @@ fn measure_one_proxy(proxy: DeployedProxy, ctx: &AuditCtx<'_>) -> ProxyOutcome {
             refined,
             dc_country,
             diagnostics,
+            defense,
             proxy,
         })),
     )
@@ -592,9 +712,29 @@ impl StudyResults {
                 Assessment::Credible => c.0 += 1,
                 Assessment::Uncertain => c.1 += 1,
                 Assessment::False => c.2 += 1,
+                // Withheld verdicts live outside the 3-way split; see
+                // [`StudyResults::suspicious`].
+                Assessment::Suspicious => {}
             }
         }
         c
+    }
+
+    /// Proxies whose verdict was *withheld* by the defense layer under a
+    /// verdict selector (always 0 for the baseline selector — only the
+    /// refined pipeline degrades to `Suspicious`).
+    pub fn suspicious(&self, refined: bool) -> usize {
+        self.records
+            .iter()
+            .filter(|r| {
+                let a = if refined {
+                    r.refined.assessment
+                } else {
+                    r.verdict.assessment
+                };
+                a == Assessment::Suspicious
+            })
+            .count()
     }
 
     /// Fig. 17 row categories: (credible, uncertain-country
@@ -607,7 +747,9 @@ impl StudyResults {
             let idx = match (r.refined.assessment, r.refined.continent) {
                 (Assessment::Credible, _) => 0,
                 (Assessment::Uncertain, ContinentVerdict::Credible) => 1,
-                (Assessment::Uncertain, _) => 2,
+                // A withheld (Suspicious) verdict is maximal uncertainty
+                // at both levels.
+                (Assessment::Uncertain | Assessment::Suspicious, _) => 2,
                 (Assessment::False, ContinentVerdict::Credible) => 3,
                 (Assessment::False, ContinentVerdict::Uncertain) => 4,
                 (Assessment::False, ContinentVerdict::False) => 5,

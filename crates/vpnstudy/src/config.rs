@@ -2,7 +2,7 @@
 
 use atlas::ConstellationConfig;
 use geokit::GeoPoint;
-use geoloc::ReliabilityConfig;
+use geoloc::{DefenseConfig, ReliabilityConfig};
 
 /// All parameters of a study run.
 #[derive(Debug, Clone)]
@@ -37,6 +37,11 @@ pub struct StudyConfig {
     /// trace). The default, `Events`, is what the determinism gate and
     /// the trace figure consume.
     pub obs_level: obs::Level,
+    /// Byzantine-defense knobs (pairwise consistency, trimmed robust
+    /// subset, quorum, side-channel evidence). Disabled by default so
+    /// the baseline pipeline — and its pinned determinism fingerprints —
+    /// are untouched unless a study opts in.
+    pub defense: DefenseConfig,
 }
 
 impl StudyConfig {
@@ -55,6 +60,7 @@ impl StudyConfig {
             crowd_workers: 150,
             reliability: ReliabilityConfig::default(),
             obs_level: obs::Level::Events,
+            defense: DefenseConfig::default(),
         }
     }
 
@@ -74,6 +80,7 @@ impl StudyConfig {
             crowd_workers: 14,
             reliability: ReliabilityConfig::default(),
             obs_level: obs::Level::Events,
+            defense: DefenseConfig::default(),
         }
     }
 }

@@ -15,6 +15,7 @@
 //! [`Study`], call [`Study::run`], and interrogate the results.
 
 pub mod audit;
+pub mod campaign;
 pub mod colocation;
 pub mod config;
 pub mod confusion;

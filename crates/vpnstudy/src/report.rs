@@ -28,6 +28,13 @@ pub fn render_overall(study: &Study, results: &StudyResults) -> String {
     }
     let _ = writeln!(out, "assessment (no DCs): credible {c0}  uncertain {u0}  false {f0}");
     let _ = writeln!(out, "assessment (final) : credible {c1}  uncertain {u1}  false {f1}");
+    let suspicious = results.suspicious(true);
+    if suspicious > 0 {
+        let _ = writeln!(
+            out,
+            "verdicts withheld as suspicious (defense evidence): {suspicious}"
+        );
+    }
     let cats = results.fig17_categories();
     let labels = [
         "credible",
@@ -71,6 +78,13 @@ pub fn render_reliability(results: &StudyResults) -> String {
         "landmarks: {} measured, {} dead, {} recovered via method fallback",
         s.totals.landmarks_measured, s.totals.dead_landmarks, s.totals.fallbacks
     );
+    if s.totals.infeasible_readings > 0 {
+        let _ = writeln!(
+            out,
+            "physically impossible corrected readings clamped: {}",
+            s.totals.infeasible_readings
+        );
+    }
     let _ = writeln!(
         out,
         "phase 1: {}/{} anchors responsive; {} runs quorum-degraded to all-continent sweep",

@@ -93,10 +93,7 @@ pub fn run_testbench(
         ) else {
             continue;
         };
-        let mut indirect_prober = ProxyProber {
-            ctx,
-            attempts: config.attempts_per_landmark,
-        };
+        let mut indirect_prober = ProxyProber::new(ctx, config.attempts_per_landmark);
         let Some(indirect_run) =
             run_two_phase(world.network_mut(), server, &mut indirect_prober, &mut rng)
         else {

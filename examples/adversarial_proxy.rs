@@ -30,7 +30,7 @@ fn locate(
 ) -> Option<(f64, Vec<String>)> {
     let server = LandmarkServer::new(constellation, calibration, atlas);
     let ctx = ProxyContext::establish(world.network_mut(), client, proxy, 0.5, 8)?;
-    let mut prober = ProxyProber { ctx, attempts: 3 };
+    let mut prober = ProxyProber::new(ctx, 3);
     let mut rng = StdRng::seed_from_u64(11);
     let result = run_two_phase(world.network_mut(), &server, &mut prober, &mut rng)?;
     let prediction = CbgPlusPlus.locate(&result.observations, atlas.plausibility_mask());

@@ -55,7 +55,7 @@ fn main() {
     let server = LandmarkServer::new(&constellation, &calibration, &atlas);
     let ctx = ProxyContext::establish(world.network_mut(), client, proxy.node, 0.5, 8)
         .expect("tunnel up");
-    let mut prober = ProxyProber { ctx, attempts: 3 };
+    let mut prober = ProxyProber::new(ctx, 3);
     let mut rng = StdRng::seed_from_u64(3);
     let refined = run_refined(
         world.network_mut(),

@@ -44,7 +44,7 @@ fn main() {
 
     println!("two-phase measurement through the tunnel…");
     let server = LandmarkServer::new(&constellation, &calibration, &atlas);
-    let mut prober = ProxyProber { ctx, attempts: 3 };
+    let mut prober = ProxyProber::new(ctx, 3);
     let mut rng = StdRng::seed_from_u64(7);
     let result = run_two_phase(world.network_mut(), &server, &mut prober, &mut rng)
         .expect("proxy measurable");

@@ -145,7 +145,7 @@ fn locate_proxy_region(
     let atlas = Arc::clone(f.world.atlas());
     let server = LandmarkServer::new(&f.constellation, &f.calibration, &atlas);
     let ctx = ProxyContext::establish(f.world.network_mut(), client, proxy, 0.5, 8)?;
-    let mut prober = ProxyProber { ctx, attempts: 3 };
+    let mut prober = ProxyProber::new(ctx, 3);
     let mut rng = StdRng::seed_from_u64(7);
     let result = run_two_phase(f.world.network_mut(), &server, &mut prober, &mut rng)?;
     Some(

@@ -14,6 +14,7 @@ fn digest(seed: u64) -> Vec<(u32, usize, usize, u8, u64)> {
                 Assessment::Credible => 0u8,
                 Assessment::Uncertain => 1,
                 Assessment::False => 2,
+                Assessment::Suspicious => 3,
             };
             (
                 r.proxy.node,

@@ -123,6 +123,7 @@ fn faulted_campaign_is_deterministic() {
                     Assessment::Credible => 0u8,
                     Assessment::Uncertain => 1,
                     Assessment::False => 2,
+                    Assessment::Suspicious => 3,
                 };
                 (r.proxy.node, a, r.diagnostics.attempts, r.diagnostics.retries)
             })

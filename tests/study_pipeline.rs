@@ -50,7 +50,7 @@ fn study_catches_a_majority_of_lies() {
             match rec.refined.assessment {
                 Assessment::False => caught += 1,
                 Assessment::Credible => wrongly_credible += 1,
-                Assessment::Uncertain => {}
+                Assessment::Uncertain | Assessment::Suspicious => {}
             }
         }
     }
