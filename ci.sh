@@ -45,6 +45,29 @@ for t in 8 16; do
     }
 done
 
+# Sharding determinism gate: the master/worker split must be just as
+# invisible as the thread pool. The same report, run as 2 and 5 shards
+# crossed with 1 and 8 workers, must be byte-identical to the
+# monolithic 1-thread reference above — including the disk-cache
+# counters (reconstructed exactly at merge time) and the JSONL trace.
+for s in 2 5; do
+    for t in 1 8; do
+        PV_SHARDS=$s PV_THREADS=$t \
+            cargo run -q --release --offline -p bench --bin determinism_report \
+            > "$report_dir/report-${s}shard-${t}thread.txt"
+        cmp "$report_dir/report-1thread.txt" \
+            "$report_dir/report-${s}shard-${t}thread.txt" || {
+            echo "FAIL: study report differs at PV_SHARDS=$s PV_THREADS=$t" >&2
+            exit 1
+        }
+    done
+done
+
+# Verdict-store smoke: write a study epoch to disk, reopen the file
+# cold, and answer the lookup/trend/false-rate queries without
+# re-measurement (tests/verdict_store.rs).
+cargo test -q --offline --test verdict_store
+
 # Perf lab smoke (see EXPERIMENTS.md "Perf lab"):
 #  1. the profiler must render a span tree for a full (small) audit;
 #  2. the perf gate's comparator must catch a synthetic 2x regression

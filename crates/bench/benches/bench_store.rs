@@ -1,0 +1,86 @@
+//! Verdict-store cost: writing a finished study to disk, replaying the
+//! file back, and the three query families the store exists to answer
+//! without re-measurement (per-proxy lookup, per-provider trend,
+//! per-country false-claim rates), plus the revalidation work queue.
+//!
+//! The store is populated from a real `Scale::Small` audit run written
+//! as three epochs, so index sizes and verdict mixes are the shapes a
+//! CI-sized study actually produces. Group name "store" keys the
+//! machine-readable artifact (bench_output/BENCH_store.json).
+
+use bench::harness::Criterion;
+use bench::{build_study_context, criterion_group, criterion_main, Scale};
+use std::hint::black_box;
+use std::path::PathBuf;
+use vpnstudy::VerdictStore;
+
+/// A scratch path that is fresh per call (the store is append-only, so
+/// benches that write must not share files).
+fn scratch(name: &str, n: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pv-bench-store-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(format!("{name}-{n}.jsonl"))
+}
+
+fn bench_store(c: &mut Criterion) {
+    let ctx = build_study_context(Scale::Small);
+
+    // One populated store every read-side bench shares: the same study
+    // appended as three epochs a day apart.
+    const DAY_MS: u64 = 86_400_000;
+    let populated_path = scratch("populated", 0);
+    let _ = std::fs::remove_file(&populated_path);
+    let mut populated = VerdictStore::open(&populated_path).expect("open store");
+    for epoch in 0..3u64 {
+        populated
+            .append_epoch(&ctx.results, 1_700_000_000_000 + epoch * DAY_MS)
+            .expect("append epoch");
+    }
+    let now_ms = 1_700_000_000_000 + 3 * DAY_MS;
+    let nodes: Vec<_> = ctx.results.records.iter().map(|r| r.proxy.node).collect();
+
+    let mut group = c.benchmark_group("store");
+    group.sample_size(20);
+
+    let mut fresh = 0usize;
+    group.bench_function("append_epoch: one small study", |b| {
+        b.iter(|| {
+            fresh += 1;
+            let path = scratch("append", fresh);
+            let _ = std::fs::remove_file(&path);
+            let mut store = VerdictStore::open(&path).expect("open store");
+            black_box(store.append_epoch(&ctx.results, now_ms).expect("append"))
+        })
+    });
+
+    group.bench_function("open: replay 3 epochs from disk", |b| {
+        b.iter(|| black_box(VerdictStore::open(&populated_path).expect("reopen")))
+    });
+
+    // The headline query-latency number: answer "what was this proxy's
+    // verdict, and is it still fresh?" straight from the index.
+    let mut i = 0usize;
+    group.bench_function("lookup: latest verdict + TTL grade", |b| {
+        b.iter(|| {
+            i = (i + 1) % nodes.len();
+            black_box(populated.lookup(nodes[i], now_ms, DAY_MS))
+        })
+    });
+
+    group.bench_function("provider_trend: one provider, all epochs", |b| {
+        b.iter(|| black_box(populated.provider_trend(0)))
+    });
+
+    group.bench_function("country_false_rates: all epochs", |b| {
+        b.iter(|| black_box(populated.country_false_rates()))
+    });
+
+    group.bench_function("revalidation_queue: all stale proxies ranked", |b| {
+        b.iter(|| black_box(populated.revalidation_queue(now_ms + 2 * DAY_MS, DAY_MS)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -1,9 +1,11 @@
 //! Render the audit's deterministic report blocks for the CI
 //! determinism gate.
 //!
-//! `ci.sh` runs this under `PV_THREADS=1`, `8`, and `16` and fails on
-//! any byte difference, proving the parallel audit engine changes
-//! nothing the study reports. Everything printed here must therefore be
+//! `ci.sh` runs this under `PV_THREADS=1`, `8`, and `16`, then again
+//! under `PV_SHARDS=2` and `5` crossed with `PV_THREADS=1` and `8`, and
+//! fails on any byte difference, proving that neither the parallel
+//! audit engine nor the master/worker shard split changes anything the
+//! study reports. Everything printed here must therefore be
 //! a pure function of the study seed: the perf telemetry block
 //! (`render_perf_telemetry`) is absent because it prints wall-clock
 //! span timings, but the disk-cache hit/miss/entry counts it draws on
@@ -19,7 +21,8 @@ use vpnstudy::StudyConfig;
 
 fn main() {
     let mut study = Study::build(StudyConfig::small(0xd1ff));
-    // `Study::run` reads PV_THREADS via `parallel::configured_threads`.
+    // `Study::run` reads PV_THREADS via `parallel::configured_threads`
+    // and PV_SHARDS via `parallel::configured_shards`.
     let results = study.run();
     print!("{}", report::render_overall(&study, &results));
     println!("---");

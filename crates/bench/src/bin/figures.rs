@@ -39,6 +39,7 @@ const FIGURES: &[(&str, &str)] = &[
     ("adversary", "adversarial campaign: detection rate vs adversary strength (not a paper figure)"),
     ("trace", "observability trace: probe outcomes, retries, region funnel (not a paper figure)"),
     ("profile", "hierarchical span profile of the audit run, wall-clock (not a paper figure)"),
+    ("store", "verdict store: provider trends, country false rates, revalidation queue (not a paper figure)"),
 ];
 
 fn main() {
@@ -141,6 +142,7 @@ fn main() {
             "adversary" => figures::adversary_campaign(scale),
             "trace" => figures::trace_observability(study_ctx(&mut study, scale)),
             "profile" => figures::profile_spans(study_ctx(&mut study, scale)),
+            "store" => figures::verdict_store(study_ctx(&mut study, scale)),
             _ => unreachable!("validated above"),
         };
         match &out_dir {

@@ -11,6 +11,7 @@ pub mod calibration;
 pub mod faultsweep;
 pub mod market;
 pub mod profile;
+pub mod store;
 pub mod study;
 pub mod tools;
 pub mod trace;
@@ -22,6 +23,7 @@ pub use faultsweep::fault_sweep;
 pub use calibration::{fig10_estimate_ratios, fig2_calibration};
 pub use market::fig14_market;
 pub use profile::profile_spans;
+pub use store::verdict_store;
 pub use study::{
     fig13_eta, fig16_colocation_group, fig17_overall, fig18_provider_country,
     fig19_provider_maps, fig20_region_size_vs_landmark, fig21_method_comparison,

@@ -31,6 +31,30 @@ pub enum Assessment {
     Suspicious,
 }
 
+impl Assessment {
+    /// Stable, lowercase wire name — the on-disk representation used by
+    /// the verdict store (`vpnstudy::store`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Assessment::Credible => "credible",
+            Assessment::Uncertain => "uncertain",
+            Assessment::False => "false",
+            Assessment::Suspicious => "suspicious",
+        }
+    }
+
+    /// Inverse of [`as_str`](Assessment::as_str).
+    pub fn parse(s: &str) -> Option<Assessment> {
+        match s {
+            "credible" => Some(Assessment::Credible),
+            "uncertain" => Some(Assessment::Uncertain),
+            "false" => Some(Assessment::False),
+            "suspicious" => Some(Assessment::Suspicious),
+            _ => None,
+        }
+    }
+}
+
 /// Continent-level refinement recorded alongside the assessment
 /// (Fig. 17's row categories).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +65,27 @@ pub enum ContinentVerdict {
     Uncertain,
     /// The prediction misses the claimed continent entirely.
     False,
+}
+
+impl ContinentVerdict {
+    /// Stable, lowercase wire name (see [`Assessment::as_str`]).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ContinentVerdict::Credible => "credible",
+            ContinentVerdict::Uncertain => "uncertain",
+            ContinentVerdict::False => "false",
+        }
+    }
+
+    /// Inverse of [`as_str`](ContinentVerdict::as_str).
+    pub fn parse(s: &str) -> Option<ContinentVerdict> {
+        match s {
+            "credible" => Some(ContinentVerdict::Credible),
+            "uncertain" => Some(ContinentVerdict::Uncertain),
+            "false" => Some(ContinentVerdict::False),
+            _ => None,
+        }
+    }
 }
 
 /// Full verdict for one proxy claim.
@@ -183,6 +228,27 @@ mod tests {
         assert_eq!(v.assessment, Assessment::False);
         assert_eq!(v.continent, ContinentVerdict::False);
         assert!(v.touched.is_empty());
+    }
+
+    #[test]
+    fn verdict_wire_names_round_trip() {
+        for a in [
+            Assessment::Credible,
+            Assessment::Uncertain,
+            Assessment::False,
+            Assessment::Suspicious,
+        ] {
+            assert_eq!(Assessment::parse(a.as_str()), Some(a));
+        }
+        for c in [
+            ContinentVerdict::Credible,
+            ContinentVerdict::Uncertain,
+            ContinentVerdict::False,
+        ] {
+            assert_eq!(ContinentVerdict::parse(c.as_str()), Some(c));
+        }
+        assert_eq!(Assessment::parse("bogus"), None);
+        assert_eq!(ContinentVerdict::parse("suspicious"), None);
     }
 
     #[test]

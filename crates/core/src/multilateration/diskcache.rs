@@ -241,6 +241,31 @@ impl DiskCache {
         }
     }
 
+    /// The sorted set of cached keys as raw `(lat_bits, lon_bits,
+    /// radius_cells)` triples.
+    ///
+    /// This is the merge primitive for *sharded* audits: each shard runs
+    /// its own cache, and the master reconstructs the counters a single
+    /// shared cache would have reported — `entries` is the size of the
+    /// union of shard key sets, `misses == entries` (fill-once), and
+    /// `hits` is total lookups minus entries. Sorted so the union is a
+    /// deterministic merge of deterministic sequences.
+    pub fn export_keys(&self) -> Vec<(u64, u64, u32)> {
+        let mut keys: Vec<(u64, u64, u32)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("disk cache poisoned")
+                    .keys()
+                    .map(|k| (k.lat_bits, k.lon_bits, k.radius_cells))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
     /// Current traffic counters and size. Exact and thread-count
     /// invariant for a fixed workload (see the module docs).
     pub fn stats(&self) -> DiskCacheStats {
@@ -311,6 +336,24 @@ mod tests {
         // Outer ceil and inner floor of the same radius share no key
         // only when the radius is not already whole-cell.
         assert!(inner.cell_count() <= c.disk(&lm, 750.0).cell_count());
+    }
+
+    #[test]
+    fn export_keys_is_sorted_and_matches_entries() {
+        let c = cache();
+        c.disk(&GeoPoint::new(10.0, 10.0), 400.0);
+        c.disk(&GeoPoint::new(-5.0, 80.0), 900.0);
+        c.disk(&GeoPoint::new(10.0, 10.0), 400.0); // repeat: no new key
+        let keys = c.export_keys();
+        assert_eq!(keys.len(), c.stats().entries);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "export must be pre-sorted");
+        // Two caches serving the same lookups export the same keys.
+        let d = cache();
+        d.disk(&GeoPoint::new(-5.0, 80.0), 900.0);
+        d.disk(&GeoPoint::new(10.0, 10.0), 400.0);
+        assert_eq!(keys, d.export_keys());
     }
 
     #[test]

@@ -51,6 +51,8 @@
 //! events are concatenated in absorb order — which is why absorb order
 //! must be deterministic.
 
+pub mod json;
+
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

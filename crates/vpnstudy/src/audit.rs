@@ -125,6 +125,10 @@ pub struct StudyResults {
     pub obs: Recorder,
     /// Worker count the audit actually ran with.
     pub threads: usize,
+    /// Shard count the audit master fanned out over (1 for the
+    /// monolithic path). Wall-side bookkeeping only: the deterministic
+    /// output is byte-identical for every value.
+    pub shards: usize,
 }
 
 impl Study {
@@ -161,34 +165,71 @@ impl Study {
     }
 
     /// Run the audit over every deployed proxy, on
-    /// [`parallel::configured_threads`] workers (`PV_THREADS` pins the
-    /// count; results are byte-identical for any value — see
-    /// [`run_with_threads`](Study::run_with_threads)).
+    /// [`parallel::configured_shards`] shards ×
+    /// [`parallel::configured_threads`] workers (`PV_SHARDS` and
+    /// `PV_THREADS` pin the counts; results are byte-identical for any
+    /// combination — see [`run_sharded`](Study::run_sharded)).
     pub fn run(&mut self) -> StudyResults {
-        self.run_with_threads(parallel::configured_threads())
+        self.run_sharded(parallel::configured_shards(), parallel::configured_threads())
     }
 
-    /// Run the audit with an explicit worker count.
-    ///
-    /// Per-proxy work fans out over `threads` workers via an
-    /// order-preserving map. Each proxy measures through its own
-    /// [`Network::fork`] (own RNG stream, clock, and fault state; shared
-    /// read-only topology and route cache) with every seed derived from
-    /// `(config.seed, proxy.node)` alone, so records, failures, and any
-    /// report rendered from them are **byte-identical for every thread
-    /// count, including 1**. η estimation (needs the shared clock) runs
-    /// serially before the fan-out; co-location disambiguation (needs
-    /// all records) after it. Even the disk-cache hit/miss telemetry is
-    /// exact: the fill-once cache reserves each key under a shard lock,
-    /// so exactly one worker counts the miss and rasterizes it.
+    /// Run the audit with an explicit worker count on a single shard —
+    /// the monolithic path, kept as the reference the sharded runs are
+    /// byte-diffed against.
     pub fn run_with_threads(&mut self, threads: usize) -> StudyResults {
+        self.run_sharded(1, threads)
+    }
+
+    /// Run the audit as `shard_count` independent shards on `threads`
+    /// total workers, then merge.
+    ///
+    /// **The determinism contract, lifted one level:** any shard count ×
+    /// any thread count is byte-identical to the monolithic
+    /// (1-shard, 1-thread) run. The master shards the proxy universe by
+    /// pure `(seed, shard_id, shard_count)` arithmetic
+    /// ([`plan_shards`]); each shard worker gets its own
+    /// [`Network::fork`] lineage, a [`Recorder`] forked from the
+    /// master's, its own disk cache, and measures its contiguous slice
+    /// of proxies; [`StudyResults::merge`] reassembles shard outputs in
+    /// shard order. The per-proxy argument is unchanged from the thread
+    /// pool's: every stochastic input derives from
+    /// `(config.seed, proxy.node)` alone, a fork-of-a-fork that probes
+    /// nothing in between is indistinguishable from a fork of the
+    /// parent, and the fill-once cache's counters are reconstructed
+    /// exactly from per-shard key sets (see
+    /// [`merge`](StudyResults::merge)).
+    pub fn run_sharded(&mut self, shard_count: usize, threads: usize) -> StudyResults {
+        let (master, shards) = self.run_shards(shard_count, threads);
+        StudyResults::merge(master, shards)
+    }
+
+    /// The master half of [`run_sharded`](Study::run_sharded): estimate
+    /// η serially, then fan the shard plan out and return the per-shard
+    /// results *unmerged*, along with the master state
+    /// ([`StudyResults::merge`] consumes both). Exposed so tests can
+    /// exercise merge semantics (ordering, neutrality of empty shards)
+    /// directly.
+    ///
+    /// `threads` is the total worker budget: up to
+    /// `min(shard_count, threads)` shards run concurrently, each fanning
+    /// its proxies out over an equal share of the remaining budget. Any
+    /// split produces the same bytes; the split only shapes wall-clock
+    /// time.
+    pub fn run_shards(
+        &mut self,
+        shard_count: usize,
+        threads: usize,
+    ) -> (ShardMaster, Vec<ShardResults>) {
+        let shard_count = shard_count.max(1);
+        let threads = threads.max(1);
         let atlas = Arc::clone(self.world.atlas());
         let recorder = Recorder::new(self.config.obs_level);
         let run_span = recorder.profile_span("audit.run");
 
         // η estimation over the pingable subset (§5.3, Fig. 13). Runs
-        // serially on the parent network before the fan-out, so its
-        // events land at the head of the trace in a fixed order.
+        // serially on the master network before any shard forks, so its
+        // events land at the head of the trace in a fixed order and
+        // every shard lineage forks from the same post-η clock.
         self.world.network_mut().set_recorder(recorder.clone());
         let pingable: Vec<NodeId> = self
             .providers
@@ -218,22 +259,12 @@ impl Study {
             );
         }
 
-        let cache = {
-            let mut cache = DiskCache::new(Arc::clone(self.mask.grid()));
-            // The cache profiles its lookups into the study recorder;
-            // workers' lookup spans nest under their own thread's open
-            // profile frames and merge additively, so this stays out of
-            // the deterministic compartment.
-            cache.set_recorder(recorder.clone());
-            Arc::new(cache)
-        };
         // One landmark server for the whole fleet: the phase-1 anchor
         // selection, per-landmark continent table, and calibration-anchor
         // mapping are pure functions of the constellation, so every
-        // worker shares one read-only server instead of rebuilding it
-        // per proxy.
+        // shard shares one read-only server instead of rebuilding it.
         let server = LandmarkServer::new(&self.constellation, &self.calibration, &atlas);
-        let ctx = AuditCtx {
+        let master = MasterCtx {
             network: self.world.network(),
             client: self.client,
             eta,
@@ -242,43 +273,26 @@ impl Study {
             atlas: &atlas,
             mask: &self.mask,
             registry: &self.registry,
-            cache: &cache,
             obs: &recorder,
         };
 
         let proxies = self.providers.proxies.clone();
-        let outcomes =
-            parallel::map_indexed(threads, proxies, |_, proxy| measure_one_proxy(proxy, &ctx));
-
-        // Merge the worker-local buffers back in proxy order: the trace
-        // is byte-identical for any thread count.
-        let absorb_span = recorder.profile_span("audit.absorb");
-        let mut records: Vec<ProxyRecord> = Vec::with_capacity(outcomes.len());
-        let mut failures: Vec<UnmeasuredProxy> = Vec::new();
-        for outcome in outcomes {
-            recorder.absorb(&outcome.trace);
-            match outcome.result {
-                ProxyResult::Record(r) => records.push(*r),
-                ProxyResult::Failure(f) => failures.push(f),
-            }
-        }
-        drop(absorb_span);
-
-        // Co-location group disambiguation (Fig. 16): within a group, the
-        // true country must be common to every member's touched set.
-        apply_group_disambiguation(&mut records);
-
-        // The disk cache's hit/miss split is exact — fill-once
-        // reservation guarantees one miss per distinct key, any thread
-        // count. It still reports through the wall-clock compartment
-        // (it describes the run's machinery, not the study's findings),
-        // but diffing it across thread counts is now legitimate and the
-        // determinism suite does exactly that.
-        let stats = cache.stats();
-        recorder.wall_count("cache.disk.hits", stats.hits);
-        recorder.wall_count("cache.disk.misses", stats.misses);
-        recorder.wall_count("cache.disk.entries", stats.entries as u64);
-        recorder.wall_count("audit.threads", threads.max(1) as u64);
+        let plan = plan_shards(self.config.seed, proxies.len(), shard_count);
+        let inputs: Vec<(ShardSpec, Vec<DeployedProxy>)> = plan
+            .into_iter()
+            .map(|spec| {
+                let slice = proxies[spec.start..spec.end].to_vec();
+                (spec, slice)
+            })
+            .collect();
+        // Split the worker budget: outer workers run shards, each shard
+        // fans its proxies out over an equal share of what remains. Any
+        // split is byte-equivalent; this one keeps the budget busy.
+        let outer = shard_count.min(threads);
+        let inner = (threads / outer).max(1);
+        let shards = parallel::map_indexed(outer, inputs, |_, (spec, slice)| {
+            run_shard(spec, slice, inner, &master)
+        });
         drop(run_span);
 
         // The recorder belongs to this run: detach it from the shared
@@ -286,14 +300,257 @@ impl Study {
         // benches) don't keep appending to a finished run's trace.
         self.world.network_mut().set_recorder(Recorder::off());
 
+        (
+            ShardMaster {
+                eta: eta_est,
+                obs: recorder,
+                threads,
+            },
+            shards,
+        )
+    }
+}
+
+/// One shard's slice of the proxy universe, derived by pure
+/// `(seed, shard_id, shard_count)` arithmetic — no RNG, no machine
+/// state, so every master computes the identical plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This shard's index in `0..shard_count`.
+    pub shard_id: usize,
+    /// Total shards in the plan.
+    pub shard_count: usize,
+    /// First proxy index (inclusive) of the shard's contiguous range.
+    pub start: usize,
+    /// One past the last proxy index of the range.
+    pub end: usize,
+    /// Seed for the shard's [`Network::fork`] lineage, pure in
+    /// `(seed, shard_id)`. The shard fork itself never probes — per-proxy
+    /// forks re-seed from `(seed, proxy.node)` — so this value shapes no
+    /// output byte; it exists so the lineage is still fully specified.
+    pub net_seed: u64,
+}
+
+/// Compute the shard plan: `shard_count` contiguous, balanced ranges
+/// covering `0..total` (sizes differ by at most one; empty ranges are
+/// legal when `shard_count > total`). Contiguity is what makes merging
+/// trivial — concatenating shard outputs in `start` order *is* proxy
+/// order, so the merged trace and record list match the monolithic run
+/// byte for byte.
+pub fn plan_shards(seed: u64, total: usize, shard_count: usize) -> Vec<ShardSpec> {
+    let shard_count = shard_count.max(1);
+    (0..shard_count)
+        .map(|shard_id| ShardSpec {
+            shard_id,
+            shard_count,
+            start: shard_id * total / shard_count,
+            end: (shard_id + 1) * total / shard_count,
+            net_seed: seed
+                ^ 0x5aa2d
+                ^ (shard_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        })
+        .collect()
+}
+
+/// What the master keeps for itself while shards run: the η estimate,
+/// the master recorder (η events + run-level spans), and the worker
+/// budget. [`StudyResults::merge`] folds shard outputs into this.
+pub struct ShardMaster {
+    /// The η estimate every shard measured with.
+    pub eta: Option<EtaEstimate>,
+    /// The master recorder; shard traces are absorbed into it in shard
+    /// order at merge time.
+    pub obs: Recorder,
+    /// Total worker budget the run was given.
+    pub threads: usize,
+}
+
+/// One shard's complete, mergeable output: its records and failures in
+/// proxy order, its recorder (per-proxy traces already absorbed in
+/// proxy order), and enough cache accounting to reconstruct the shared
+/// cache's exact counters at merge time.
+pub struct ShardResults {
+    /// The plan entry this shard executed.
+    pub spec: ShardSpec,
+    /// Records for the shard's range, in proxy order.
+    pub records: Vec<ProxyRecord>,
+    /// Failures for the shard's range, in proxy order.
+    pub failures: Vec<UnmeasuredProxy>,
+    /// The shard recorder: deterministic events/counters for the range,
+    /// plus the shard's wall-clock profile subtree.
+    pub trace: Recorder,
+    /// Total disk-cache lookups (hits + misses) this shard issued.
+    pub cache_lookups: u64,
+    /// Sorted distinct cache keys this shard rasterized
+    /// ([`DiskCache::export_keys`]); the union across shards reconstructs
+    /// the monolithic cache's entry count.
+    pub cache_keys: Vec<(u64, u64, u32)>,
+}
+
+/// Read-only master state a shard worker measures against.
+struct MasterCtx<'a> {
+    network: &'a Network,
+    client: NodeId,
+    eta: f64,
+    config: &'a StudyConfig,
+    server: &'a LandmarkServer<'a>,
+    atlas: &'a Arc<WorldAtlas>,
+    mask: &'a Region,
+    registry: &'a DataCenterRegistry,
+    obs: &'a Recorder,
+}
+
+/// Execute one shard: fork the network lineage and recorder, measure the
+/// shard's proxies on `inner_threads` workers, absorb their traces in
+/// proxy order, and package the mergeable result.
+///
+/// The shard's [`Network::fork`] never probes, so per-proxy forks taken
+/// from it are bit-identical to forks taken from the master network
+/// (same clock, same shared topology, untouched fault state) — the heart
+/// of the shard-count-invariance argument.
+fn run_shard(
+    spec: ShardSpec,
+    proxies: Vec<DeployedProxy>,
+    inner_threads: usize,
+    master: &MasterCtx<'_>,
+) -> ShardResults {
+    let shard_rec = master.obs.fork();
+    // Rooted so the shard subtree has the same profile shape whether the
+    // shard ran inline on the coordinator or on an outer worker thread.
+    let shard_span = shard_rec.profile_span_root("audit.shard");
+    let shard_net = master.network.fork(spec.net_seed);
+    // Each shard fills its own cache: lookups profile into the shard
+    // recorder, and the exact counters a *shared* cache would have
+    // reported are reconstructed at merge time from the per-shard key
+    // sets (a cached region is bitwise the fresh rasterization, so the
+    // per-proxy lookup sequence is cache-state-independent).
+    let cache = {
+        let mut cache = DiskCache::new(Arc::clone(master.mask.grid()));
+        cache.set_recorder(shard_rec.clone());
+        Arc::new(cache)
+    };
+    let ctx = AuditCtx {
+        network: &shard_net,
+        client: master.client,
+        eta: master.eta,
+        config: master.config,
+        server: master.server,
+        atlas: master.atlas,
+        mask: master.mask,
+        registry: master.registry,
+        cache: &cache,
+        obs: &shard_rec,
+    };
+    let outcomes = parallel::map_indexed(inner_threads, proxies, |_, proxy| {
+        measure_one_proxy(proxy, &ctx)
+    });
+
+    // Merge the worker-local buffers back in proxy order: the shard
+    // trace is byte-identical for any inner thread count.
+    let absorb_span = shard_rec.profile_span("audit.absorb");
+    let mut records: Vec<ProxyRecord> = Vec::with_capacity(outcomes.len());
+    let mut failures: Vec<UnmeasuredProxy> = Vec::new();
+    for outcome in outcomes {
+        shard_rec.absorb(&outcome.trace);
+        match outcome.result {
+            ProxyResult::Record(r) => records.push(*r),
+            ProxyResult::Failure(f) => failures.push(f),
+        }
+    }
+    drop(absorb_span);
+    let stats = cache.stats();
+    drop(shard_span);
+    ShardResults {
+        spec,
+        records,
+        failures,
+        trace: shard_rec,
+        cache_lookups: stats.hits + stats.misses,
+        cache_keys: cache.export_keys(),
+    }
+}
+
+impl StudyResults {
+    /// Reassemble a full study from the master state and the per-shard
+    /// outputs of [`Study::run_shards`].
+    ///
+    /// Merge semantics, and why the result is byte-identical to the
+    /// monolithic run:
+    ///
+    /// * **Order-insensitive.** Shards are re-sorted by their plan range
+    ///   before anything is concatenated, so shards handed back in any
+    ///   order (a property the tests exercise directly) produce the same
+    ///   bytes. Because [`plan_shards`] ranges are contiguous, sorted
+    ///   concatenation *is* proxy order — the invariant every
+    ///   deterministic output hangs off.
+    /// * **Traces.** Each shard recorder already absorbed its per-proxy
+    ///   buffers in proxy order; absorbing the shard recorders into the
+    ///   master in range order concatenates events exactly as the
+    ///   monolithic collector would have, and merges counters and
+    ///   histograms additively (both are commutative over disjoint
+    ///   proxy sets, but the event stream is not — hence the sort).
+    /// * **Cache counters stay exact.** Each shard ran a private
+    ///   fill-once cache, so a key rasterized by two shards was counted
+    ///   as a miss twice — once per shard — where a shared cache would
+    ///   have counted one miss and one hit. The reconstruction uses the
+    ///   sorted per-shard key sets ([`DiskCache::export_keys`]): the
+    ///   union's size is what a shared cache's `entries` (and, fill-once,
+    ///   its `misses`) would have been, and every remaining lookup is a
+    ///   hit. Lookup *sequences* are cache-state-independent (a cached
+    ///   region is bitwise the fresh rasterization), so summed per-shard
+    ///   lookups equal the monolithic lookup count.
+    /// * **Empty shards are neutral.** An empty range contributes no
+    ///   records, no failures, no events, no keys — merging it in is a
+    ///   no-op, which is what makes `shard_count > proxies` legal.
+    ///
+    /// Co-location group disambiguation (Fig. 16) runs here, after the
+    /// merge, because groups span shard boundaries: a shard alone cannot
+    /// see a group's full membership.
+    pub fn merge(master: ShardMaster, mut shards: Vec<ShardResults>) -> StudyResults {
+        let recorder = master.obs;
+        let merge_span = recorder.profile_span("audit.merge");
+        shards.sort_by_key(|s| (s.spec.start, s.spec.shard_id));
+
+        let shard_count = shards.len().max(1);
+        let total: usize = shards.iter().map(|s| s.records.len() + s.failures.len()).sum();
+        let mut records: Vec<ProxyRecord> = Vec::with_capacity(total);
+        let mut failures: Vec<UnmeasuredProxy> = Vec::new();
+        let mut lookups = 0u64;
+        let mut keys: Vec<(u64, u64, u32)> = Vec::new();
+        for shard in shards {
+            recorder.absorb(&shard.trace);
+            records.extend(shard.records);
+            failures.extend(shard.failures);
+            lookups += shard.cache_lookups;
+            keys.extend(shard.cache_keys);
+        }
+        keys.sort_unstable();
+        keys.dedup();
+
+        // Co-location group disambiguation (Fig. 16): within a group, the
+        // true country must be common to every member's touched set.
+        apply_group_disambiguation(&mut records);
+
+        // Reconstructed shared-cache counters: exact for any shard and
+        // thread count (misses == entries under fill-once). Wall-side,
+        // like the monolithic path, but legitimate to diff.
+        let entries = keys.len() as u64;
+        recorder.wall_count("cache.disk.hits", lookups.saturating_sub(entries));
+        recorder.wall_count("cache.disk.misses", entries);
+        recorder.wall_count("cache.disk.entries", entries);
+        recorder.wall_count("audit.threads", master.threads.max(1) as u64);
+        recorder.wall_count("audit.shards", shard_count as u64);
+        drop(merge_span);
+
         let unmeasured = failures.len();
         StudyResults {
             records,
-            eta: eta_est,
+            eta: master.eta,
             failures,
             unmeasured,
             obs: recorder,
-            threads: threads.max(1),
+            threads: master.threads.max(1),
+            shards: shard_count,
         }
     }
 }
@@ -700,41 +957,17 @@ fn apply_group_disambiguation(records: &mut [ProxyRecord]) {
 
 impl StudyResults {
     /// (credible, uncertain, false) counts under a verdict selector.
+    /// Withheld verdicts live outside the 3-way split; see
+    /// [`StudyResults::suspicious`].
     pub fn counts(&self, refined: bool) -> (usize, usize, usize) {
-        let mut c = (0, 0, 0);
-        for r in &self.records {
-            let a = if refined {
-                r.refined.assessment
-            } else {
-                r.verdict.assessment
-            };
-            match a {
-                Assessment::Credible => c.0 += 1,
-                Assessment::Uncertain => c.1 += 1,
-                Assessment::False => c.2 += 1,
-                // Withheld verdicts live outside the 3-way split; see
-                // [`StudyResults::suspicious`].
-                Assessment::Suspicious => {}
-            }
-        }
-        c
+        crate::report::tally_records(self, refined).three_way()
     }
 
     /// Proxies whose verdict was *withheld* by the defense layer under a
     /// verdict selector (always 0 for the baseline selector — only the
     /// refined pipeline degrades to `Suspicious`).
     pub fn suspicious(&self, refined: bool) -> usize {
-        self.records
-            .iter()
-            .filter(|r| {
-                let a = if refined {
-                    r.refined.assessment
-                } else {
-                    r.verdict.assessment
-                };
-                a == Assessment::Suspicious
-            })
-            .count()
+        crate::report::tally_records(self, refined).suspicious
     }
 
     /// Fig. 17 row categories: (credible, uncertain-country
@@ -1208,6 +1441,7 @@ mod tests {
             unmeasured: 0,
             obs: Recorder::off(),
             threads: 1,
+            shards: 1,
         }
     }
 

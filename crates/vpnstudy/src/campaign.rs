@@ -34,6 +34,7 @@
 
 use crate::audit::{Study, StudyResults};
 use crate::config::StudyConfig;
+use crate::report::VerdictTally;
 use geokit::GeoPoint;
 use geoloc::assess::Assessment;
 use geoloc::proxy::DEFAULT_ETA;
@@ -308,42 +309,36 @@ fn baseline_assessment(r: &crate::audit::ProxyRecord) -> Assessment {
     r.verdict.assessment
 }
 
-/// Score one finished study against the attacked-proxy list.
+/// Score one finished study against the attacked-proxy list. The
+/// verdict counting itself is [`VerdictTally`] — the same helper the
+/// overall report and the verdict store use — applied twice: once to
+/// the baseline (defense-blind) assessments and once to the defended
+/// ones.
 pub fn score_cell(
     model: AdversaryModel,
     strength: f64,
     targets: &[NodeId],
     results: &StudyResults,
 ) -> CampaignCell {
-    let mut cell = CampaignCell {
+    let attacked: Vec<&crate::audit::ProxyRecord> = results
+        .records
+        .iter()
+        .filter(|r| targets.contains(&r.proxy.node))
+        .collect();
+    let baseline = VerdictTally::tally(attacked.iter().map(|r| baseline_assessment(r)));
+    let defended = VerdictTally::tally(attacked.iter().map(|r| r.refined.assessment));
+    CampaignCell {
         model,
         strength,
         attacked: targets.len(),
-        measured: 0,
-        baseline_deceived: 0,
-        defended_deceived: 0,
-        caught: 0,
-        suspicious: 0,
-    };
-    for r in &results.records {
-        if !targets.contains(&r.proxy.node) {
-            continue;
-        }
-        cell.measured += 1;
-        if baseline_assessment(r) == Assessment::Credible {
-            cell.baseline_deceived += 1;
-        }
-        match r.refined.assessment {
-            Assessment::Credible => cell.defended_deceived += 1,
-            Assessment::Suspicious => {
-                cell.caught += 1;
-                cell.suspicious += 1;
-            }
-            Assessment::False => cell.caught += 1,
-            Assessment::Uncertain => {}
-        }
+        measured: defended.total(),
+        baseline_deceived: baseline.credible,
+        defended_deceived: defended.credible,
+        // "Caught" = refused or refuted: the defended pipeline either
+        // proved the claim false or withheld the verdict as suspicious.
+        caught: defended.false_claims + defended.suspicious,
+        suspicious: defended.suspicious,
     }
-    cell
 }
 
 /// Run one campaign cell: fresh study, armed plan, defended audit.

@@ -25,6 +25,7 @@ pub mod ipdb;
 pub mod longitudinal;
 pub mod providers;
 pub mod report;
+pub mod store;
 pub mod testbench;
 
 pub use audit::{
@@ -32,3 +33,8 @@ pub use audit::{
 };
 pub use config::StudyConfig;
 pub use providers::{DeployedProxy, ProviderProfile, ProviderSet};
+pub use report::{tally_records, VerdictTally};
+pub use store::{
+    EpochId, EpochMeta, Freshness, LookupAnswer, RevalidationPriority, StoredFailure,
+    StoredVerdict, VerdictStore,
+};

@@ -9,6 +9,84 @@ use crate::ipdb::paper_databases;
 use geoloc::assess::Assessment;
 use std::fmt::Write as _;
 
+/// The four-way verdict tally every consumer of study records needs:
+/// the overall report, the campaign scorer, and the verdict store's
+/// trend and false-claim-rate queries all count the same way, so the
+/// counting lives here exactly once.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerdictTally {
+    /// Claims the pipeline backs (`Assessment::Credible`).
+    pub credible: usize,
+    /// Claims it could neither back nor refute.
+    pub uncertain: usize,
+    /// Claims it refuted.
+    pub false_claims: usize,
+    /// Verdicts withheld on defense evidence (`Assessment::Suspicious`).
+    pub suspicious: usize,
+}
+
+impl VerdictTally {
+    /// Tally a stream of assessments.
+    pub fn tally(assessments: impl IntoIterator<Item = Assessment>) -> VerdictTally {
+        let mut t = VerdictTally::default();
+        for a in assessments {
+            t.add(a);
+        }
+        t
+    }
+
+    /// Count one assessment.
+    pub fn add(&mut self, a: Assessment) {
+        match a {
+            Assessment::Credible => self.credible += 1,
+            Assessment::Uncertain => self.uncertain += 1,
+            Assessment::False => self.false_claims += 1,
+            Assessment::Suspicious => self.suspicious += 1,
+        }
+    }
+
+    /// Fold another tally in (the store merges per-epoch tallies).
+    pub fn absorb(&mut self, other: &VerdictTally) {
+        self.credible += other.credible;
+        self.uncertain += other.uncertain;
+        self.false_claims += other.false_claims;
+        self.suspicious += other.suspicious;
+    }
+
+    /// Total verdicts counted.
+    pub fn total(&self) -> usize {
+        self.credible + self.uncertain + self.false_claims + self.suspicious
+    }
+
+    /// The classic 3-way split `(credible, uncertain, false)` —
+    /// suspicious verdicts are withheld, not part of it.
+    pub fn three_way(&self) -> (usize, usize, usize) {
+        (self.credible, self.uncertain, self.false_claims)
+    }
+
+    /// Fraction of counted claims refuted outright (`0.0` when empty) —
+    /// the store's per-country false-claim rate.
+    pub fn false_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.false_claims as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Tally a study's records under a verdict selector (`refined` picks the
+/// post-disambiguation/defense verdict, else the raw CBG++ one).
+pub fn tally_records(results: &StudyResults, refined: bool) -> VerdictTally {
+    VerdictTally::tally(results.records.iter().map(|r| {
+        if refined {
+            r.refined.assessment
+        } else {
+            r.verdict.assessment
+        }
+    }))
+}
+
 /// The Fig. 17-style overall assessment block.
 pub fn render_overall(study: &Study, results: &StudyResults) -> String {
     let _prof = results.obs.profile_span("report.overall");

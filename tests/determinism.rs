@@ -106,6 +106,64 @@ fn thread_count_never_changes_the_study() {
     }
 }
 
+/// The sharding determinism contract, crossed with the thread one: the
+/// master/worker split (`Study::run_sharded`) must be byte-identical to
+/// the monolithic run for any shard count × any worker budget. The
+/// fingerprint includes the disk-cache counters — reconstructed at
+/// merge time from per-shard key sets, they must come out *exactly*
+/// equal to the single-cache run — and the comparison extends to the
+/// JSONL event trace and the rendered observability block, since shard
+/// traces are absorbed in range order.
+#[test]
+fn shard_count_never_changes_the_study() {
+    use proxy_verifier::vpnstudy::report;
+    let run = |shards: usize, threads: usize| {
+        let mut study = Study::build(StudyConfig::small(77));
+        let results = study.run_sharded(shards, threads);
+        assert_eq!(results.shards, shards.max(1));
+        assert_eq!(results.threads, threads.max(1));
+        (
+            full_fingerprint(&results),
+            results.trace_jsonl(),
+            report::render_observability(&results),
+        )
+    };
+    let reference = run(1, 1);
+    assert!(!reference.0.is_empty(), "study produced no output at all");
+    for shards in [2, 5] {
+        for threads in [1, 8] {
+            let sharded = run(shards, threads);
+            assert_eq!(
+                reference.0, sharded.0,
+                "fingerprint diverged at {shards} shards x {threads} threads"
+            );
+            assert_eq!(
+                reference.1, sharded.1,
+                "JSONL trace diverged at {shards} shards x {threads} threads"
+            );
+            assert_eq!(
+                reference.2, sharded.2,
+                "observability report diverged at {shards} shards x {threads} threads"
+            );
+        }
+    }
+}
+
+/// Degenerate shard plans are legal: more shards than proxies leaves
+/// some shards empty, and merging them must be a no-op.
+#[test]
+fn more_shards_than_proxies_is_byte_identical_too() {
+    let run = |shards: usize| {
+        let mut study = Study::build(StudyConfig::small(91));
+        full_fingerprint(&study.run_sharded(shards, 4))
+    };
+    let total = {
+        let study = Study::build(StudyConfig::small(91));
+        study.providers.proxies.len()
+    };
+    assert_eq!(run(1), run(total + 7), "empty shards changed the output");
+}
+
 /// The observability layer's determinism contract: the JSONL event
 /// trace and the rendered observability block are byte-identical at any
 /// thread count. Per-proxy event buffers are recorded worker-locally
