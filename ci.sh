@@ -68,6 +68,27 @@ done
 # re-measurement (tests/verdict_store.rs).
 cargo test -q --offline --test verdict_store
 
+# Telemetry export gate (tests/ops_telemetry.rs is the in-process
+# version; this is the shipped binary):
+#  1. the deterministic subset of the OpenMetrics exposition must be
+#     byte-identical at 1 and 8 worker threads — the determinism
+#     contract extends to what an operator scrapes;
+#  2. the full exposition must round-trip through the in-repo
+#     OpenMetrics parser byte-for-byte and lint clean against the
+#     metric-name registry;
+#  3. the SLO mode must exit zero on a healthy run (it exits 1 when any
+#     default rule fires — the release pipeline's alerting hook).
+PV_THREADS=1 cargo run -q --release --offline -p bench --bin metrics_export \
+    > "$report_dir/metrics-1thread.om"
+PV_THREADS=8 cargo run -q --release --offline -p bench --bin metrics_export \
+    > "$report_dir/metrics-8thread.om"
+cmp "$report_dir/metrics-1thread.om" "$report_dir/metrics-8thread.om" || {
+    echo "FAIL: deterministic metrics differ between PV_THREADS=1 and 8" >&2
+    exit 1
+}
+cargo run -q --release --offline -p bench --bin metrics_export -- --check
+cargo run -q --release --offline -p bench --bin metrics_export -- --slo
+
 # Perf lab smoke (see EXPERIMENTS.md "Perf lab"):
 #  1. the profiler must render a span tree for a full (small) audit;
 #  2. the perf gate's comparator must catch a synthetic 2x regression

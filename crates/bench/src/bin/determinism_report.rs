@@ -10,9 +10,10 @@
 //! (`render_perf_telemetry`) is absent because it prints wall-clock
 //! span timings, but the disk-cache hit/miss/entry counts it draws on
 //! are exact under the fill-once cache, so they are printed — and
-//! diffed — directly. The observability block and the full JSONL event
-//! trace are included too: per-proxy event buffers are merged in proxy
-//! order, so they must be byte-identical at any thread count.
+//! diffed — directly. The observability block, the deterministic half
+//! of the progress-snapshot stream, and the full JSONL event trace are
+//! included too: per-proxy event buffers and snapshot deltas are merged
+//! in proxy order, so they must be byte-identical at any thread count.
 
 use vpnstudy::audit::Study;
 use vpnstudy::campaign::{shaping_plan, AdversaryModel};
@@ -38,6 +39,12 @@ fn main() {
         cache.hits, cache.misses, cache.entries
     );
     println!("---");
+    // The deterministic half of each progress snapshot: a pure function
+    // of (seed, snapshot_every), so it diffs byte-identically across
+    // every shard × thread combination. The wall half (elapsed, ETA,
+    // cache hit ratio) is deliberately absent from this rendering.
+    print!("{}", results.snapshots_jsonl());
+    println!("---");
     print!("{}", results.trace_jsonl());
 
     // The same gate with the active-adversary layer armed and the
@@ -55,6 +62,8 @@ fn main() {
     print!("{}", report::render_reliability(&armed_results));
     println!("---");
     print!("{}", report::render_observability(&armed_results));
+    println!("---");
+    print!("{}", armed_results.snapshots_jsonl());
     println!("---");
     print!("{}", armed_results.trace_jsonl());
 }

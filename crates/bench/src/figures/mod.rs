@@ -10,6 +10,7 @@ pub mod adversary;
 pub mod calibration;
 pub mod faultsweep;
 pub mod market;
+pub mod ops;
 pub mod profile;
 pub mod store;
 pub mod study;
@@ -22,6 +23,7 @@ pub use adversary::adversary_campaign;
 pub use faultsweep::fault_sweep;
 pub use calibration::{fig10_estimate_ratios, fig2_calibration};
 pub use market::fig14_market;
+pub use ops::{ops_telemetry, OpsBundle};
 pub use profile::profile_spans;
 pub use store::verdict_store;
 pub use study::{

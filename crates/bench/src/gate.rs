@@ -69,6 +69,9 @@ pub fn suite_tolerance(name: &str) -> Option<f64> {
         // Like cache_hit: a hash-map lookup measured in tens of
         // nanoseconds, where scheduling jitter is a large fraction.
         "gate/verdict_query" => Some(0.50),
+        // Dominated by string formatting and allocation, which moves
+        // with allocator state more than with the code under test.
+        "gate/metrics_export" => Some(0.50),
         _ => None,
     }
 }
@@ -237,6 +240,18 @@ pub fn smoke_suite(samples: usize) -> Vec<Sampled> {
         })
     }));
     let _ = std::fs::remove_file(&store_path);
+
+    // The telemetry export path: mapping a finished run's recorder into
+    // the OpenMetrics exposition and rendering the text. An operator
+    // scrapes this once per epoch; the gate keeps it cheap enough that
+    // exporting never competes with measuring.
+    out.push(run_sampled("gate/metrics_export", samples, |b| {
+        b.iter(|| {
+            let set = vpnstudy::ops::study_metrics(black_box(&ctx.results))
+                .expect("every study counter is registered");
+            black_box(set.render())
+        })
+    }));
 
     out
 }
@@ -500,6 +515,7 @@ mod tests {
                 "gate/phase1_server_build",
                 "gate/audit_one_proxy",
                 "gate/verdict_query",
+                "gate/metrics_export",
             ]
         );
         assert!(suite.iter().all(|s| s.median_ns > 0.0));

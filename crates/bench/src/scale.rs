@@ -43,6 +43,7 @@ impl Scale {
                 reliability: geoloc::ReliabilityConfig::default(),
                 obs_level: obs::Level::Events,
                 defense: geoloc::DefenseConfig::default(),
+                snapshot_every: 25,
             },
             Scale::Paper => StudyConfig::paper(),
         }

@@ -16,6 +16,16 @@
 //! [`ProbeScheduler`]-wrapped prober consumes *exactly* the same network
 //! RNG stream as the bare prober — the scheduler's own jitter RNG is
 //! separate and is consumed only when a retry actually happens.
+//!
+//! Telemetry: the scheduler counts `rel.retry`, `rel.fallback`, and
+//! `rel.dead_landmark`, and records the `rel.attempts_per_landmark` and
+//! `rel.backoff_us` histograms — all registered in `obs::registry`
+//! (exposed as `pv_retry_total`, `pv_scheduler_fallback_total`,
+//! `pv_retry_exhaustion_total`, `pv_landmark_attempts`,
+//! `pv_retry_backoff_microseconds`). `rel.retry` feeds the per-proxy
+//! progress snapshots, and `rel.dead_landmark` is the counter behind
+//! the default `retry_exhaustion` SLO rule, so renaming any of these
+//! raw names is a registry change, not a local edit.
 
 use crate::twophase::RttProber;
 use netsim::{Network, NodeId, SimDuration};

@@ -7,6 +7,17 @@
 //! run the event engine; bulk statistics (`sample_rtt_ms` and friends)
 //! draw from the identical delay model along the identical routes. The
 //! `des_and_sampler_agree` test pins the equivalence.
+//!
+//! Telemetry: probes narrate through the attached [`Recorder`] —
+//! counters `net.probe.{sent,completed,timeout}` and `net.loss.*` (by
+//! dominant cause), histogram `net.probe.rtt_us`, and per-probe events
+//! at `Level::Events`. Every raw name is registered in `obs::registry`
+//! (the exposition layer maps them to `pv_probe_total{outcome}`,
+//! `pv_probe_loss_total{cause}`, `pv_probe_rtt_microseconds`), and
+//! `net.probe.sent − net.probe.completed` is the numerator of the
+//! `pv_probe_loss_rate` gauge the SLO engine watches — adding a count
+//! site here without a registry entry fails `vpnstudy::ops` and the
+//! CI export gate.
 
 use crate::adversary::{AdversaryPlan, AdversaryTally};
 use crate::delay::{DelayModel, PathDelays};

@@ -51,7 +51,12 @@
 //! events are concatenated in absorb order — which is why absorb order
 //! must be deterministic.
 
+pub mod alert;
+pub mod export;
 pub mod json;
+pub mod perfetto;
+pub mod registry;
+pub mod snapshot;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -222,7 +227,8 @@ impl Event {
 pub struct Hist {
     /// Total samples recorded.
     pub count: u64,
-    /// Sum of all samples.
+    /// Sum of all samples (saturating: a histogram fed near-`u64::MAX`
+    /// samples pins the sum at `u64::MAX` instead of wrapping).
     pub sum: u64,
     /// Smallest sample (0 when empty).
     pub min: u64,
@@ -243,7 +249,7 @@ impl Hist {
             self.max = self.max.max(v);
         }
         self.count += 1;
-        self.sum += v;
+        self.sum = self.sum.saturating_add(v);
         *self.buckets.entry(64 - v.leading_zeros()).or_insert(0) += 1;
     }
 
@@ -254,6 +260,40 @@ impl Hist {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ≤ q ≤ 1.0`) of the recorded
+    /// samples from the power-of-two buckets. `None` when empty.
+    ///
+    /// The estimate is the upper edge of the bucket holding the
+    /// rank-⌈q·n⌉ sample, clamped into the observed `[min, max]` range.
+    ///
+    /// **Error bound**: a bucket spans `[2^(b-1), 2^b)`, so the
+    /// estimate is never *below* the true quantile and is strictly less
+    /// than **2×** the true quantile for any true value ≥ 1 (and exact
+    /// for 0, for values one below a power of two, and whenever the
+    /// min/max clamp applies). That factor-of-two ceiling is the price
+    /// of a histogram that merges commutatively in O(64) space.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the sample the quantile asks for.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&b, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                let hi = match b {
+                    0 => 0,
+                    64.. => u64::MAX,
+                    _ => (1u64 << b) - 1,
+                };
+                return Some(hi.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
     }
 
     /// Fold another histogram into this one.
@@ -269,7 +309,7 @@ impl Hist {
             self.max = self.max.max(other.max);
         }
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
         for (&b, &n) in &other.buckets {
             *self.buckets.entry(b).or_insert(0) += n;
         }
@@ -716,80 +756,114 @@ impl Recorder {
     /// block: one line per path with call count, self time, and
     /// cumulative time. Multiple roots (e.g. the coordinator's
     /// `audit.run` next to absorbed workers' `audit.proxy`) render as a
-    /// forest. **Scheduling-dependent by design** — keep out of
-    /// determinism diffs.
+    /// forest. Siblings are ordered hottest-first (cumulative time
+    /// descending, name as the stable tiebreak), so the top of the
+    /// report is always the dominant path. **Timings are
+    /// scheduling-dependent by design** — keep out of determinism
+    /// diffs.
     pub fn render_profile(&self) -> String {
-        #[derive(Default)]
-        struct Node {
-            stat: Option<ProfileStat>,
-            children: BTreeMap<String, Node>,
-        }
-        let mut root = Node::default();
-        {
-            let inner = self.lock();
-            for (path, &stat) in &inner.profile {
-                let mut node = &mut root;
-                for seg in path.split('/') {
-                    node = node.children.entry(seg.to_string()).or_default();
-                }
-                node.stat = Some(stat);
-            }
-        }
-        if root.children.is_empty() {
-            return String::new();
-        }
-        fn render(node: &Node, name: &str, depth: usize, out: &mut String) {
-            let label = format!("{}{}", "  ".repeat(depth), name);
-            match node.stat {
-                Some(s) => {
-                    let _ = writeln!(
-                        out,
-                        "{label:<44} {:>9}  self {:>10}  cum {:>10}",
-                        s.count,
-                        fmt_prof_ns(s.self_ns),
-                        fmt_prof_ns(s.cum_ns)
-                    );
-                }
-                None => {
-                    // A path only seen as a prefix (its own span never
-                    // completed, e.g. still open at render time).
-                    let _ = writeln!(out, "{label:<44} {:>9}  self {:>10}  cum {:>10}", "-", "-", "-");
-                }
-            }
-            for (child_name, child) in &node.children {
-                render(child, child_name, depth + 1, out);
-            }
-        }
-        let mut out = format!(
-            "{:<44} {:>9}  {:>15}  {:>14}\n",
-            "span path", "count", "self", "cum"
-        );
-        for (name, node) in &root.children {
-            render(node, name, 0, &mut out);
-        }
-        out
+        render_profile_from(&self.profile())
     }
 
-    /// Render the wall-clock side (span timings, then wall counters).
+    /// Render the wall-clock side: span timings sorted by total time
+    /// descending (name tiebreak), then wall counters by name.
     /// **Scheduling-dependent by design** — keep out of determinism
     /// diffs.
     pub fn render_wall(&self) -> String {
-        let inner = self.lock();
-        let mut out = String::new();
-        for (k, w) in &inner.wall_spans {
-            let _ = writeln!(
-                out,
-                "{k:<34} {:>8} x {:>10.3} ms = {:>10.1} ms",
-                w.count,
-                w.mean_ms(),
-                w.total_ns as f64 / 1e6
-            );
-        }
-        for (k, v) in &inner.wall_counters {
-            let _ = writeln!(out, "{k:<34} {v:>10}");
-        }
-        out
+        render_wall_from(&self.wall_spans(), &self.wall_counters())
     }
+}
+
+/// Render a profile snapshot (as returned by [`Recorder::profile`]) as
+/// the indented forest of [`Recorder::render_profile`]. Siblings sort
+/// by cumulative time descending with a stable name tiebreak; a path
+/// seen only as a prefix (its own span never completed) sorts by the
+/// sum of its children.
+pub fn render_profile_from(entries: &[(String, ProfileStat)]) -> String {
+    #[derive(Default)]
+    struct Node {
+        stat: Option<ProfileStat>,
+        children: BTreeMap<String, Node>,
+    }
+    impl Node {
+        /// Sort weight: own cumulative time, or the children's sum for
+        /// prefix-only paths.
+        fn weight(&self) -> u128 {
+            match self.stat {
+                Some(s) => s.cum_ns,
+                None => self.children.values().map(Node::weight).sum(),
+            }
+        }
+    }
+    let mut root = Node::default();
+    for (path, stat) in entries {
+        let mut node = &mut root;
+        for seg in path.split('/') {
+            node = node.children.entry(seg.to_string()).or_default();
+        }
+        node.stat = Some(*stat);
+    }
+    if root.children.is_empty() {
+        return String::new();
+    }
+    fn ordered(node: &Node) -> Vec<(&String, &Node)> {
+        let mut kids: Vec<_> = node.children.iter().collect();
+        kids.sort_by(|(an, a), (bn, b)| b.weight().cmp(&a.weight()).then(an.cmp(bn)));
+        kids
+    }
+    fn render(node: &Node, name: &str, depth: usize, out: &mut String) {
+        let label = format!("{}{}", "  ".repeat(depth), name);
+        match node.stat {
+            Some(s) => {
+                let _ = writeln!(
+                    out,
+                    "{label:<44} {:>9}  self {:>10}  cum {:>10}",
+                    s.count,
+                    fmt_prof_ns(s.self_ns),
+                    fmt_prof_ns(s.cum_ns)
+                );
+            }
+            None => {
+                // A path only seen as a prefix (its own span never
+                // completed, e.g. still open at render time).
+                let _ = writeln!(out, "{label:<44} {:>9}  self {:>10}  cum {:>10}", "-", "-", "-");
+            }
+        }
+        for (child_name, child) in ordered(node) {
+            render(child, child_name, depth + 1, out);
+        }
+    }
+    let mut out = format!(
+        "{:<44} {:>9}  {:>15}  {:>14}\n",
+        "span path", "count", "self", "cum"
+    );
+    for (name, node) in ordered(&root) {
+        render(node, name, 0, &mut out);
+    }
+    out
+}
+
+/// Render wall-span and wall-counter snapshots as the text block of
+/// [`Recorder::render_wall`]: spans sorted by total wall time
+/// descending (name tiebreak, so equal-cost spans are still
+/// machine-diffable run-to-run), counters by name.
+pub fn render_wall_from(spans: &[(&'static str, WallStat)], counters: &[(&'static str, u64)]) -> String {
+    let mut spans = spans.to_vec();
+    spans.sort_by(|(an, a), (bn, b)| b.total_ns.cmp(&a.total_ns).then(an.cmp(bn)));
+    let mut out = String::new();
+    for (k, w) in &spans {
+        let _ = writeln!(
+            out,
+            "{k:<34} {:>8} x {:>10.3} ms = {:>10.1} ms",
+            w.count,
+            w.mean_ms(),
+            w.total_ns as f64 / 1e6
+        );
+    }
+    for (k, v) in counters {
+        let _ = writeln!(out, "{k:<34} {v:>10}");
+    }
+    out
 }
 
 /// Guard for one wall-clock span (see [`Recorder::span`]).
@@ -1177,15 +1251,144 @@ mod tests {
             let _a = r.profile_span("alpha");
             let _b = r.profile_span("beta");
         }
-        {
-            let _z = r.profile_span("zeta");
-        }
         let txt = r.render_profile();
         let alpha = txt.find("\nalpha").unwrap();
         let beta = txt.find("\n  beta").unwrap();
-        let zeta = txt.find("\nzeta").unwrap();
-        assert!(alpha < beta && beta < zeta, "bad tree order:\n{txt}");
+        assert!(alpha < beta, "beta must nest under alpha:\n{txt}");
         assert!(Recorder::off().render_profile().is_empty());
+    }
+
+    #[test]
+    fn render_profile_orders_siblings_by_cum_time_then_name() {
+        let stat = |count, cum_ns, self_ns| ProfileStat {
+            count,
+            cum_ns,
+            self_ns,
+        };
+        // `cold` is alphabetically first but cheapest; `hot` dominates.
+        // `mid.a`/`mid.b` tie on cum and must fall back to name order.
+        let entries = vec![
+            ("cold".to_string(), stat(1, 10, 10)),
+            ("hot".to_string(), stat(1, 1_000, 400)),
+            ("hot/inner_cheap".to_string(), stat(2, 100, 100)),
+            ("hot/inner_hot".to_string(), stat(2, 500, 500)),
+            ("mid.a".to_string(), stat(1, 50, 50)),
+            ("mid.b".to_string(), stat(1, 50, 50)),
+        ];
+        let txt = render_profile_from(&entries);
+        let pos = |needle: &str| txt.find(needle).unwrap_or_else(|| panic!("{needle} missing:\n{txt}"));
+        assert!(pos("\nhot") < pos("\n  inner_hot"), "{txt}");
+        assert!(pos("\n  inner_hot") < pos("\n  inner_cheap"), "{txt}");
+        assert!(pos("\n  inner_cheap") < pos("\nmid.a"), "{txt}");
+        assert!(pos("\nmid.a") < pos("\nmid.b"), "tie must break by name:\n{txt}");
+        assert!(pos("\nmid.b") < pos("\ncold"), "{txt}");
+        // A prefix-only node weighs what its children weigh: `ghost`
+        // never completed but its child out-weighs `cold`.
+        let entries = vec![
+            ("cold".to_string(), stat(1, 10, 10)),
+            ("ghost/busy".to_string(), stat(1, 900, 900)),
+        ];
+        let txt = render_profile_from(&entries);
+        assert!(
+            txt.find("\nghost").unwrap() < txt.find("\ncold").unwrap(),
+            "prefix-only parent must sort by child weight:\n{txt}"
+        );
+    }
+
+    #[test]
+    fn render_wall_orders_spans_by_total_time_then_name() {
+        let w = |count, total_ns| WallStat { count, total_ns };
+        let spans = vec![
+            ("a.cheap", w(9, 100)),
+            ("z.hot", w(1, 9_000)),
+            ("m.tie", w(1, 100)),
+        ];
+        let counters = vec![("a.count", 1u64), ("z.count", 2u64)];
+        let txt = render_wall_from(&spans, &counters);
+        let pos = |needle: &str| txt.find(needle).unwrap_or_else(|| panic!("{needle} missing:\n{txt}"));
+        assert!(pos("z.hot") < pos("a.cheap"), "{txt}");
+        assert!(pos("a.cheap") < pos("m.tie"), "tie must break by name:\n{txt}");
+        assert!(pos("m.tie") < pos("a.count"), "counters render after spans:\n{txt}");
+        assert!(pos("a.count") < pos("z.count"), "{txt}");
+    }
+
+    #[test]
+    fn hist_quantile_empty_is_none() {
+        let h = Hist::default();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), None);
+        }
+    }
+
+    #[test]
+    fn hist_quantile_at_bucket_edges() {
+        // Values one below a power of two sit exactly on a bucket's
+        // upper edge, so the estimate is exact.
+        let mut h = Hist::default();
+        for v in [0u64, 1, 3, 7, 15] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(0));
+        // rank ⌈0.2·5⌉ = 1 → bucket of 0.
+        assert_eq!(h.quantile(0.2), Some(0));
+        // rank ⌈0.5·5⌉ = 3 → bucket of 3 (upper edge 3).
+        assert_eq!(h.quantile(0.5), Some(3));
+        assert_eq!(h.quantile(0.8), Some(7));
+        assert_eq!(h.quantile(1.0), Some(15));
+        // A power of two itself sits at the *bottom* of its bucket: the
+        // estimate is the upper edge, within the documented 2x bound.
+        let mut h = Hist::default();
+        h.record(8);
+        let p50 = h.quantile(0.5).unwrap();
+        assert_eq!(p50, 8, "single sample clamps to max");
+        let mut h = Hist::default();
+        h.record(8);
+        h.record(9);
+        let p25 = h.quantile(0.25).unwrap();
+        assert!((8..16).contains(&p25), "within the 2x bound: {p25}");
+    }
+
+    #[test]
+    fn hist_quantile_clamps_to_observed_range() {
+        let mut h = Hist::default();
+        h.record(1000); // bucket 10 (512..1023), upper edge 1023
+        h.record(1000);
+        // Upper edge 1023 clamps down to the observed max 1000.
+        assert_eq!(h.quantile(0.5), Some(1000));
+        // min-clamp: a single value at the bottom of a wide bucket.
+        let mut h = Hist::default();
+        h.record(513);
+        h.record(2000);
+        // p25 → bucket 10, upper edge 1023, min 513 ≤ 1023 ≤ max: stays.
+        assert_eq!(h.quantile(0.25), Some(1023));
+    }
+
+    #[test]
+    fn hist_quantile_u64_max_does_not_overflow() {
+        let mut h = Hist::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 7);
+        for q in [0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(u64::MAX));
+        }
+        // rank 1 lands in bucket 64 too; the upper edge u64::MAX is
+        // clamped into [min, max] without overflowing.
+        assert_eq!(h.quantile(0.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn hist_quantile_monotone_in_q() {
+        let mut h = Hist::default();
+        for v in [1u64, 2, 4, 9, 33, 120, 4096, 70_000] {
+            h.record(v);
+        }
+        let mut last = 0u64;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let est = h.quantile(q).unwrap();
+            assert!(est >= last, "quantile must be monotone in q");
+            last = est;
+        }
+        assert_eq!(h.quantile(1.0), Some(70_000));
     }
 
     #[test]

@@ -17,6 +17,10 @@ use geoloc::reliability::{MeasurementDiagnostics, ProbeScheduler};
 use geoloc::observation::Observation;
 use geoloc::twophase::{run_two_phase_reliable, MeasurementStatus, ProxyProber, RttProber};
 use netsim::{FilterPolicy, Network, NodeId, SimDuration, WorldNet, WorldNetConfig};
+use obs::snapshot::{
+    ProgressSink, ProgressSnapshot, ProxyOutcome as SnapshotOutcome, ProxyStat, SnapshotBuilder,
+    WallProgress,
+};
 use obs::Recorder;
 use simrng::rngs::StdRng;
 use simrng::SeedableRng;
@@ -101,6 +105,10 @@ pub struct Study {
     pub client: NodeId,
     /// Plausibility mask for predictions.
     pub mask: Region,
+    /// Progress sinks the audit master drives at snapshot intervals
+    /// (registered via [`Study::add_progress_sink`], drained into the
+    /// next run).
+    progress_sinks: Vec<Box<dyn ProgressSink>>,
 }
 
 /// Results of a full audit run.
@@ -129,6 +137,37 @@ pub struct StudyResults {
     /// monolithic path). Wall-side bookkeeping only: the deterministic
     /// output is byte-identical for every value.
     pub shards: usize,
+    /// Progress snapshots emitted during the run, one every
+    /// [`StudyConfig::snapshot_every`] proxies plus a final one. The
+    /// deterministic compartment of each snapshot is a pure function of
+    /// the study seed ([`StudyResults::snapshots_jsonl`] is what the
+    /// determinism gates diff); the wall compartment is back-filled at
+    /// merge time and stays out of every diff.
+    pub snapshots: Vec<ProgressSnapshot>,
+    /// Per-shard final gauges (wall-side: the split itself is invisible
+    /// to the deterministic output, so anything keyed by shard id is
+    /// operational telemetry only).
+    pub shard_progress: Vec<ShardProgress>,
+}
+
+/// Final per-shard progress gauges, captured at merge time. Everything
+/// here is wall-compartment telemetry: shard boundaries are a run-shape
+/// choice, so per-shard numbers must never enter a determinism diff.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardProgress {
+    /// The shard's index in the plan.
+    pub shard_id: usize,
+    /// Proxies the shard audited (records + failures).
+    pub proxies_done: u64,
+    /// Probes the shard's proxies sent.
+    pub probes_sent: u64,
+    /// Retries the shard's reliability layer scheduled.
+    pub retries: u64,
+    /// Hit ratio of the shard's private fill-once disk cache.
+    pub cache_hit_ratio: f64,
+    /// Fraction of the shard's range finished (1.0 after a completed
+    /// run; the field exists so a live sink sees the same shape).
+    pub progress_ratio: f64,
 }
 
 impl Study {
@@ -161,7 +200,15 @@ impl Study {
             survey,
             client,
             mask,
+            progress_sinks: Vec::new(),
         }
+    }
+
+    /// Register a progress sink for the next run. Sinks receive every
+    /// [`ProgressSnapshot`] in `seq` order (wall compartment filled) and
+    /// are drained by the run that consumes them.
+    pub fn add_progress_sink(&mut self, sink: Box<dyn ProgressSink>) {
+        self.progress_sinks.push(sink);
     }
 
     /// Run the audit over every deployed proxy, on
@@ -305,6 +352,8 @@ impl Study {
                 eta: eta_est,
                 obs: recorder,
                 threads,
+                snapshot_every: self.config.snapshot_every.max(1) as u64,
+                sinks: std::mem::take(&mut self.progress_sinks),
             },
             shards,
         )
@@ -363,6 +412,10 @@ pub struct ShardMaster {
     pub obs: Recorder,
     /// Total worker budget the run was given.
     pub threads: usize,
+    /// Snapshot interval (proxies per snapshot) from the study config.
+    pub snapshot_every: u64,
+    /// Progress sinks to drive while folding shard outputs.
+    pub sinks: Vec<Box<dyn ProgressSink>>,
 }
 
 /// One shard's complete, mergeable output: its records and failures in
@@ -379,6 +432,10 @@ pub struct ShardResults {
     /// The shard recorder: deterministic events/counters for the range,
     /// plus the shard's wall-clock profile subtree.
     pub trace: Recorder,
+    /// Per-proxy deterministic deltas in proxy order, captured before
+    /// each proxy's trace folded into the shard recorder. Concatenated
+    /// in range order at merge time, these drive the snapshot stream.
+    pub proxy_stats: Vec<ProxyStat>,
     /// Total disk-cache lookups (hits + misses) this shard issued.
     pub cache_lookups: u64,
     /// Sorted distinct cache keys this shard rasterized
@@ -450,7 +507,14 @@ fn run_shard(
     let absorb_span = shard_rec.profile_span("audit.absorb");
     let mut records: Vec<ProxyRecord> = Vec::with_capacity(outcomes.len());
     let mut failures: Vec<UnmeasuredProxy> = Vec::new();
+    let mut proxy_stats: Vec<ProxyStat> = Vec::with_capacity(outcomes.len());
     for outcome in outcomes {
+        // Capture the proxy's deterministic delta off its still-private
+        // trace *before* it folds into the shard recorder: the loop is
+        // single-threaded and proxy-ordered, so the stat stream is a
+        // pure function of the shard's range regardless of how many
+        // inner workers measured.
+        proxy_stats.push(proxy_stat(&outcome));
         shard_rec.absorb(&outcome.trace);
         match outcome.result {
             ProxyResult::Record(r) => records.push(*r),
@@ -465,8 +529,33 @@ fn run_shard(
         records,
         failures,
         trace: shard_rec,
+        proxy_stats,
         cache_lookups: stats.hits + stats.misses,
         cache_keys: cache.export_keys(),
+    }
+}
+
+/// Read one finished proxy's deterministic delta off its worker-local
+/// trace: probe/retry counters, the final sim-clock stamp, and the
+/// outcome classification the `audit.*` ledger counters use.
+fn proxy_stat(outcome: &ProxyOutcome) -> ProxyStat {
+    let (node, kind) = match &outcome.result {
+        ProxyResult::Record(r) => (r.proxy.node, SnapshotOutcome::Measured),
+        ProxyResult::Failure(f) => (
+            f.proxy.node,
+            match f.failure {
+                MeasureFailure::InsufficientData => SnapshotOutcome::Insufficient,
+                MeasureFailure::Unmeasurable => SnapshotOutcome::Unmeasurable,
+            },
+        ),
+    };
+    ProxyStat {
+        node,
+        sim_now_ns: outcome.trace.now_ns(),
+        probes_sent: outcome.trace.counter("net.probe.sent"),
+        probes_timeout: outcome.trace.counter("net.probe.timeout"),
+        retries: outcome.trace.counter("rel.retry"),
+        outcome: kind,
     }
 }
 
@@ -506,7 +595,7 @@ impl StudyResults {
     /// Co-location group disambiguation (Fig. 16) runs here, after the
     /// merge, because groups span shard boundaries: a shard alone cannot
     /// see a group's full membership.
-    pub fn merge(master: ShardMaster, mut shards: Vec<ShardResults>) -> StudyResults {
+    pub fn merge(mut master: ShardMaster, mut shards: Vec<ShardResults>) -> StudyResults {
         let recorder = master.obs;
         let merge_span = recorder.profile_span("audit.merge");
         shards.sort_by_key(|s| (s.spec.start, s.spec.shard_id));
@@ -515,12 +604,28 @@ impl StudyResults {
         let total: usize = shards.iter().map(|s| s.records.len() + s.failures.len()).sum();
         let mut records: Vec<ProxyRecord> = Vec::with_capacity(total);
         let mut failures: Vec<UnmeasuredProxy> = Vec::new();
+        let mut proxy_stats: Vec<ProxyStat> = Vec::with_capacity(total);
+        let mut shard_progress: Vec<ShardProgress> = Vec::with_capacity(shards.len());
         let mut lookups = 0u64;
         let mut keys: Vec<(u64, u64, u32)> = Vec::new();
         for shard in shards {
             recorder.absorb(&shard.trace);
+            shard_progress.push(ShardProgress {
+                shard_id: shard.spec.shard_id,
+                proxies_done: shard.proxy_stats.len() as u64,
+                probes_sent: shard.proxy_stats.iter().map(|s| s.probes_sent).sum(),
+                retries: shard.proxy_stats.iter().map(|s| s.retries).sum(),
+                cache_hit_ratio: if shard.cache_lookups == 0 {
+                    0.0
+                } else {
+                    shard.cache_lookups.saturating_sub(shard.cache_keys.len() as u64) as f64
+                        / shard.cache_lookups as f64
+                },
+                progress_ratio: 1.0,
+            });
             records.extend(shard.records);
             failures.extend(shard.failures);
+            proxy_stats.extend(shard.proxy_stats);
             lookups += shard.cache_lookups;
             keys.extend(shard.cache_keys);
         }
@@ -540,6 +645,38 @@ impl StudyResults {
         recorder.wall_count("cache.disk.entries", entries);
         recorder.wall_count("audit.threads", master.threads.max(1) as u64);
         recorder.wall_count("audit.shards", shard_count as u64);
+
+        // Drive the snapshot stream: the concatenated per-proxy stats
+        // are in global proxy order (contiguous ranges, sorted), so the
+        // deterministic compartment of every snapshot is a pure function
+        // of (seed, snapshot_every). Wall fields are back-filled from
+        // the run's own telemetry — total elapsed pro-rated over the
+        // stream, the reconstructed shared-cache hit ratio — and never
+        // rendered into a determinism diff.
+        let elapsed_ms = recorder
+            .profile_stat("audit.run")
+            .map_or(0, |s| (s.cum_ns / 1_000_000) as u64);
+        let hit_ratio = if lookups == 0 {
+            0.0
+        } else {
+            lookups.saturating_sub(entries) as f64 / lookups as f64
+        };
+        let mut builder = SnapshotBuilder::new(proxy_stats.len() as u64, master.snapshot_every);
+        let mut snapshots: Vec<ProgressSnapshot> = Vec::new();
+        for stat in &proxy_stats {
+            if let Some(mut snap) = builder.push(stat) {
+                let done_ms = (elapsed_ms as f64 * snap.ratio()) as u64;
+                snap.wall = WallProgress {
+                    elapsed_ms: done_ms,
+                    eta_ms: elapsed_ms.saturating_sub(done_ms),
+                    cache_hit_ratio: hit_ratio,
+                };
+                for sink in &mut master.sinks {
+                    sink.emit(&snap);
+                }
+                snapshots.push(snap);
+            }
+        }
         drop(merge_span);
 
         let unmeasured = failures.len();
@@ -551,6 +688,8 @@ impl StudyResults {
             obs: recorder,
             threads: master.threads.max(1),
             shards: shard_count,
+            snapshots,
+            shard_progress,
         }
     }
 }
@@ -893,8 +1032,10 @@ fn finish_proxy(
         },
         1,
     );
+    // Stamp the final sim time unconditionally (a no-op at Level::Off):
+    // the snapshot stream reads it even when the event trace is off.
+    rec.set_now_ns(net.now().as_nanos());
     if rec.events_enabled() {
-        rec.set_now_ns(net.now().as_nanos());
         rec.event("audit", "proxy_done", vec![("status", status.into())]);
     }
     ProxyOutcome { result, trace: rec }
@@ -1051,6 +1192,26 @@ impl StudyResults {
     /// Empty unless the study ran at [`obs::Level::Events`].
     pub fn trace_jsonl(&self) -> String {
         self.obs.events_jsonl()
+    }
+
+    /// The deterministic compartment of every progress snapshot as
+    /// JSONL — byte-identical for any `PV_SHARDS × PV_THREADS`, so the
+    /// determinism gates diff it alongside the event trace.
+    pub fn snapshots_jsonl(&self) -> String {
+        self.snapshots
+            .iter()
+            .map(ProgressSnapshot::deterministic_jsonl)
+            .collect()
+    }
+
+    /// Both compartments of every progress snapshot as JSONL (wall
+    /// fields under a `"wall"` key) — the operator-facing rendering
+    /// `figures ops` writes to disk. **Not** determinism-diff safe.
+    pub fn snapshots_full_jsonl(&self) -> String {
+        self.snapshots
+            .iter()
+            .map(ProgressSnapshot::full_jsonl)
+            .collect()
     }
 
     /// Aggregate the per-proxy measurement diagnostics into one
@@ -1249,6 +1410,77 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_stream_covers_every_proxy() {
+        let g = results().lock().unwrap();
+        let (study, res) = &*g;
+        let n = study.providers.proxies.len() as u64;
+        let every = study.config.snapshot_every.max(1) as u64;
+        let expected = (n / every) + u64::from(!n.is_multiple_of(every));
+        assert_eq!(res.snapshots.len() as u64, expected);
+        let last = res.snapshots.last().expect("snapshots emitted");
+        assert_eq!(last.proxies_done, n);
+        assert_eq!(last.proxies_total, n);
+        assert_eq!(last.measured as usize, res.records.len());
+        assert_eq!(
+            last.measured + last.insufficient + last.unmeasurable,
+            n,
+            "snapshot outcome tallies must partition the fleet"
+        );
+        // Per-proxy probe counters sum to at most the study total (the
+        // master's own η-estimation probes are outside any proxy).
+        assert!(last.probes_sent > 0);
+        assert!(last.probes_sent <= res.obs.counter("net.probe.sent"));
+        assert!(last.sim_now_ns > 0, "sim clock never stamped");
+        // Sequence numbers are dense and done counts are increasing.
+        for (i, s) in res.snapshots.iter().enumerate() {
+            assert_eq!(s.seq, i as u64);
+            if i > 0 {
+                assert!(s.proxies_done > res.snapshots[i - 1].proxies_done);
+            }
+        }
+        assert_eq!(
+            res.snapshots_jsonl().lines().count(),
+            res.snapshots.len()
+        );
+        // Wall split: the deterministic rendering never mentions wall
+        // fields; the full rendering carries them on every line.
+        assert!(!res.snapshots_jsonl().contains("wall"));
+        assert_eq!(
+            res.snapshots_full_jsonl().matches("\"wall\"").count(),
+            res.snapshots.len()
+        );
+        // Per-shard gauges exist for every shard in the plan.
+        assert_eq!(res.shard_progress.len(), res.shards);
+        let done: u64 = res.shard_progress.iter().map(|s| s.proxies_done).sum();
+        assert_eq!(done, n);
+    }
+
+    #[test]
+    fn progress_sinks_see_the_same_snapshots() {
+        use obs::snapshot::{JsonlSink, RingSink};
+        use std::sync::{Arc, Mutex};
+        let mut cfg = StudyConfig::small(41);
+        cfg.total_proxies = 12;
+        cfg.snapshot_every = 5;
+        let mut study = Study::build(cfg);
+        let jsonl = Arc::new(Mutex::new(JsonlSink::deterministic()));
+        let ring = Arc::new(Mutex::new(RingSink::new(2)));
+        study.add_progress_sink(Box::new(Arc::clone(&jsonl)));
+        study.add_progress_sink(Box::new(Arc::clone(&ring)));
+        let res = study.run_with_threads(2);
+        // 12 proxies, k=5 → snapshots at 5, 10, 12.
+        assert_eq!(res.snapshots.len(), 3);
+        assert_eq!(
+            jsonl.lock().unwrap().text(),
+            res.snapshots_jsonl(),
+            "sink saw different bytes than the stored stream"
+        );
+        let ring = ring.lock().unwrap();
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.latest().unwrap().proxies_done, 12);
+    }
+
+    #[test]
     fn profile_tree_covers_the_audit_stages() {
         let g = results().lock().unwrap();
         let (study, res) = &*g;
@@ -1442,6 +1674,8 @@ mod tests {
             obs: Recorder::off(),
             threads: 1,
             shards: 1,
+            snapshots: Vec::new(),
+            shard_progress: Vec::new(),
         }
     }
 

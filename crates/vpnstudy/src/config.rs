@@ -42,6 +42,12 @@ pub struct StudyConfig {
     /// the baseline pipeline — and its pinned determinism fingerprints —
     /// are untouched unless a study opts in.
     pub defense: DefenseConfig,
+    /// Emit one progress snapshot every this many proxies (global
+    /// deterministic order), plus a final one when the last proxy
+    /// lands. The snapshot stream is a pure function of
+    /// `(seed, snapshot_every)`, so it is part of the determinism
+    /// contract for any shard × thread combination.
+    pub snapshot_every: usize,
 }
 
 impl StudyConfig {
@@ -61,6 +67,7 @@ impl StudyConfig {
             reliability: ReliabilityConfig::default(),
             obs_level: obs::Level::Events,
             defense: DefenseConfig::default(),
+            snapshot_every: 100,
         }
     }
 
@@ -81,6 +88,7 @@ impl StudyConfig {
             reliability: ReliabilityConfig::default(),
             obs_level: obs::Level::Events,
             defense: DefenseConfig::default(),
+            snapshot_every: 8,
         }
     }
 }

@@ -23,6 +23,7 @@ pub mod crowd;
 pub mod feasibility;
 pub mod ipdb;
 pub mod longitudinal;
+pub mod ops;
 pub mod providers;
 pub mod report;
 pub mod store;
@@ -32,6 +33,7 @@ pub use audit::{
     MeasureFailure, ProxyRecord, ReliabilitySummary, Study, StudyResults, UnmeasuredProxy,
 };
 pub use config::StudyConfig;
+pub use ops::{default_rules, evaluate_slos, store_metrics, study_metrics, DEFAULT_RULES};
 pub use providers::{DeployedProxy, ProviderProfile, ProviderSet};
 pub use report::{tally_records, VerdictTally};
 pub use store::{

@@ -355,6 +355,76 @@ pub fn render_confusion(matrix: &ConfusionMatrix, max_axis: usize) -> String {
     out
 }
 
+/// The operations dashboard: run progress, latency/retry quantiles,
+/// per-shard gauges, and the SLO alert verdict. `metrics` is the study's
+/// exposition (see [`crate::ops::study_metrics`]) and `alerts` the
+/// result of evaluating the SLO ruleset over it. Quantiles come from
+/// the power-of-two histograms, so they are deterministic; the shard
+/// table is wall-clock telemetry and never enters determinism diffs.
+pub fn render_ops(
+    results: &StudyResults,
+    metrics: &obs::export::MetricSet,
+    alerts: &[obs::alert::Alert],
+) -> String {
+    let mut out = String::new();
+    let done = results.records.len() + results.failures.len();
+    let _ = writeln!(
+        out,
+        "progress: {done} proxies audited in {} snapshots (every {} proxies)",
+        results.snapshots.len(),
+        results
+            .snapshots
+            .first()
+            .map_or(0, |s| s.proxies_done.max(1)),
+    );
+    let loss = metrics.value("pv_probe_loss_rate", &[]).unwrap_or(0.0);
+    let _ = writeln!(out, "probe loss rate: {:.2} %", loss * 100.0);
+
+    let _ = writeln!(out, "latency/effort quantiles (deterministic):");
+    for (raw, hist) in results.obs.hists() {
+        let family = obs::registry::hist(raw).map_or(raw, |d| d.family);
+        let (p50, p90, p99) = (
+            hist.quantile(0.50).unwrap_or(0),
+            hist.quantile(0.90).unwrap_or(0),
+            hist.quantile(0.99).unwrap_or(0),
+        );
+        let _ = writeln!(
+            out,
+            "  {family:<32} n={:<8} p50={p50} p90={p90} p99={p99}",
+            hist.count
+        );
+    }
+
+    if !results.shard_progress.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<8}{:>8}{:>10}{:>9}{:>11}",
+            "shard", "done", "probes", "retries", "cache-hit"
+        );
+        for sp in &results.shard_progress {
+            let _ = writeln!(
+                out,
+                "{:<8}{:>8}{:>10}{:>9}{:>10.1}%",
+                sp.shard_id,
+                sp.proxies_done,
+                sp.probes_sent,
+                sp.retries,
+                sp.cache_hit_ratio * 100.0
+            );
+        }
+    }
+
+    if alerts.is_empty() {
+        let _ = writeln!(out, "SLO: ok — no alerts fired");
+    } else {
+        let _ = writeln!(out, "SLO: {} alert(s) fired", alerts.len());
+        for a in alerts {
+            let _ = writeln!(out, "  {}", a.render_line());
+        }
+    }
+    out
+}
+
 fn truncate(s: &str, n: usize) -> String {
     s.chars().take(n).collect()
 }

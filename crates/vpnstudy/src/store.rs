@@ -660,6 +660,78 @@ mod tests {
     }
 
     #[test]
+    fn revalidation_queue_is_empty_for_an_empty_store() {
+        let path = scratch("queue-empty");
+        let store = VerdictStore::open(&path).unwrap();
+        assert!(store.revalidation_queue(u64::MAX, 0).is_empty());
+        // An epoch with zero verdicts is still an empty queue.
+        let mut store = VerdictStore::open(&path).unwrap();
+        store.append_rows(&meta(0, 0, 0), &[], &[]).unwrap();
+        assert!(store.revalidation_queue(u64::MAX, 0).is_empty());
+    }
+
+    #[test]
+    fn revalidation_queue_ignores_an_all_fresh_store() {
+        let path = scratch("queue-fresh");
+        let mut store = VerdictStore::open(&path).unwrap();
+        let rows = vec![
+            verdict(0, 1, 0, Assessment::False),
+            verdict(0, 2, 0, Assessment::Suspicious),
+        ];
+        store.append_rows(&meta(0, 1_000, 2), &rows, &[]).unwrap();
+        // Exactly at the TTL boundary a verdict is still fresh, even a
+        // refuted one: age == ttl does not schedule revalidation.
+        assert!(store.revalidation_queue(2_000, 1_000).is_empty());
+        // One millisecond later everything tips stale at once.
+        assert_eq!(store.revalidation_queue(2_001, 1_000).len(), 2);
+    }
+
+    #[test]
+    fn revalidation_queue_breaks_equal_staleness_by_priority_then_node() {
+        let path = scratch("queue-ties");
+        let mut store = VerdictStore::open(&path).unwrap();
+        // All four verdicts in one epoch: identical age (maximal
+        // staleness tie). Order must come from priority alone, node id
+        // breaking exact ties — never from insertion order.
+        let rows = vec![
+            verdict(0, 9, 0, Assessment::Uncertain),
+            verdict(0, 5, 0, Assessment::Suspicious),
+            verdict(0, 3, 0, Assessment::Uncertain),
+            verdict(0, 7, 0, Assessment::False),
+        ];
+        store.append_rows(&meta(0, 0, 4), &rows, &[]).unwrap();
+        let queue = store.revalidation_queue(10_000, 1_000);
+        assert_eq!(
+            queue,
+            vec![
+                (5, RevalidationPriority::Urgent),
+                (7, RevalidationPriority::Urgent),
+                (3, RevalidationPriority::Elevated),
+                (9, RevalidationPriority::Elevated),
+            ]
+        );
+        // A newer epoch's Urgent verdict outranks an older (more stale)
+        // Routine one: priority dominates age across epochs too.
+        store
+            .append_rows(
+                &meta(1, 5_000, 2),
+                &[
+                    verdict(1, 9, 0, Assessment::Credible),
+                    verdict(1, 2, 0, Assessment::False),
+                ],
+                &[],
+            )
+            .unwrap();
+        let queue = store.revalidation_queue(100_000, 1_000);
+        assert_eq!(queue[0], (2, RevalidationPriority::Urgent));
+        assert_eq!(
+            queue.last().unwrap(),
+            &(9, RevalidationPriority::Routine),
+            "node 9's latest (credible) verdict wins, demoting it to routine"
+        );
+    }
+
+    #[test]
     fn provider_trend_allots_every_epoch() {
         let path = scratch("trend");
         let mut store = VerdictStore::open(&path).unwrap();

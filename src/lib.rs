@@ -33,6 +33,7 @@ pub use atlas;
 pub use geokit;
 pub use geoloc;
 pub use netsim;
+pub use obs;
 pub use vpnstudy;
 pub use worldmap;
 

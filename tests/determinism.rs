@@ -112,8 +112,9 @@ fn thread_count_never_changes_the_study() {
 /// fingerprint includes the disk-cache counters — reconstructed at
 /// merge time from per-shard key sets, they must come out *exactly*
 /// equal to the single-cache run — and the comparison extends to the
-/// JSONL event trace and the rendered observability block, since shard
-/// traces are absorbed in range order.
+/// JSONL event trace, the rendered observability block, and the
+/// deterministic half of the progress-snapshot stream, since shard
+/// traces and per-proxy snapshot deltas are absorbed in range order.
 #[test]
 fn shard_count_never_changes_the_study() {
     use proxy_verifier::vpnstudy::report;
@@ -126,10 +127,15 @@ fn shard_count_never_changes_the_study() {
             full_fingerprint(&results),
             results.trace_jsonl(),
             report::render_observability(&results),
+            results.snapshots_jsonl(),
         )
     };
     let reference = run(1, 1);
     assert!(!reference.0.is_empty(), "study produced no output at all");
+    assert!(
+        !reference.3.is_empty(),
+        "study produced no progress snapshots"
+    );
     for shards in [2, 5] {
         for threads in [1, 8] {
             let sharded = run(shards, threads);
@@ -144,6 +150,10 @@ fn shard_count_never_changes_the_study() {
             assert_eq!(
                 reference.2, sharded.2,
                 "observability report diverged at {shards} shards x {threads} threads"
+            );
+            assert_eq!(
+                reference.3, sharded.3,
+                "snapshot stream diverged at {shards} shards x {threads} threads"
             );
         }
     }

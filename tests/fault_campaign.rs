@@ -142,6 +142,33 @@ fn faulted_campaign_is_deterministic() {
     assert_eq!(digest(&a), digest(&b), "faulted campaign not reproducible");
 }
 
+/// The SLO alert engine sees the faults: with 10 % of landmarks dark,
+/// every proxy burns its retry budget against them, so the default
+/// `retry_exhaustion` rule (`pv_retry_exhaustion_total > 10`) must trip
+/// — and the fault-free run must stay quiet on the same ruleset.
+#[test]
+fn faulted_campaign_trips_the_default_slo_rules() {
+    use proxy_verifier::vpnstudy::ops;
+
+    let (_, faulted) = run_with_faults(PER_HOP_LOSS, OUTAGE_FRACTION);
+    let set = ops::study_metrics(&faulted).expect("faulted run exports cleanly");
+    let alerts = ops::evaluate_slos(&set, None);
+    assert!(
+        alerts.iter().any(|a| a.rule == "retry_exhaustion"),
+        "outages exhausted no retry budgets: {alerts:?}"
+    );
+    for a in &alerts {
+        assert!(a.render_line().starts_with("ALERT "), "{:?}", a.render_line());
+    }
+
+    let (_, clean) = run_with_faults(0.0, 0.0);
+    let clean_set = ops::study_metrics(&clean).expect("clean run exports cleanly");
+    assert!(
+        ops::evaluate_slos(&clean_set, None).is_empty(),
+        "fault-free campaign tripped the SLO rules"
+    );
+}
+
 #[test]
 fn total_blackout_degrades_loudly_not_silently() {
     let mut config = campaign_config();

@@ -1,0 +1,111 @@
+//! Operational telemetry, end to end: a real (small) study run must
+//! export a lint-clean OpenMetrics exposition that round-trips through
+//! the in-repo parser, a Perfetto-loadable trace, a progress-snapshot
+//! stream whose deterministic half is thread-count invariant, and an
+//! ops dashboard that renders all of it.
+
+use proxy_verifier::obs::export::{deterministic_family, parse_exposition};
+use proxy_verifier::obs::json::Json;
+use proxy_verifier::vpnstudy::audit::StudyResults;
+use proxy_verifier::vpnstudy::{ops, report, Study, StudyConfig};
+use std::sync::OnceLock;
+
+fn study() -> &'static StudyResults {
+    static S: OnceLock<StudyResults> = OnceLock::new();
+    S.get_or_init(|| {
+        let mut study = Study::build(StudyConfig::small(2018));
+        study.run_with_threads(4)
+    })
+}
+
+/// Every counter, histogram, and wall counter a real run emits is in
+/// the registry (`study_metrics` errors on the first unregistered raw
+/// name), the exposition lints clean, and parse → render reproduces
+/// the exact bytes.
+#[test]
+fn real_run_exports_a_round_trippable_exposition() {
+    let set = ops::study_metrics(study()).expect("unregistered metric leaked into a run");
+    assert!(set.lint_against_registry().is_empty());
+    let text = set.render();
+    let parsed = parse_exposition(&text).expect("exposition must parse");
+    assert_eq!(parsed.render(), text, "round-trip drifted");
+    // Spot-check both compartments made it out.
+    assert!(parsed.family("pv_probe_total").is_some());
+    assert!(parsed.family("pv_span_seconds_total").is_some());
+    assert!(parsed.value("pv_progress_proxies_done", &[]).unwrap() > 0.0);
+}
+
+/// The deterministic subset of the exposition is a pure function of the
+/// seed: 1-thread and 8-thread runs render byte-identical text. (The
+/// full exposition differs — span timings are wall-clock.)
+#[test]
+fn deterministic_exposition_subset_is_thread_invariant() {
+    let render = |threads: usize| {
+        let mut study = Study::build(StudyConfig::small(909));
+        let results = study.run_with_threads(threads);
+        ops::study_metrics(&results)
+            .expect("export")
+            .render_filtered(deterministic_family)
+    };
+    let one = render(1);
+    assert!(!one.is_empty());
+    assert_eq!(one, render(8), "deterministic exposition subset diverged");
+}
+
+/// The Perfetto export is valid JSON in trace-event shape: a
+/// `traceEvents` array of objects each carrying a phase, and at least
+/// one complete (`X`) span from the profiler.
+#[test]
+fn perfetto_trace_is_loadable_json() {
+    let trace = proxy_verifier::obs::perfetto::render_trace(&study().obs);
+    let doc = Json::parse(&trace).expect("trace must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    assert!(events.len() > 10, "suspiciously small trace: {}", events.len());
+    let mut complete = 0usize;
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).expect("every event has ph");
+        if ph == "X" {
+            complete += 1;
+            assert!(e.get("dur").is_some(), "X event without dur");
+        }
+    }
+    assert!(complete > 0, "no complete spans in the trace");
+}
+
+/// Snapshot JSONL: every line of both renderings is valid JSON; the
+/// deterministic rendering has no wall compartment, the full one always
+/// does.
+#[test]
+fn snapshot_jsonl_parses_line_by_line() {
+    let results = study();
+    assert!(!results.snapshots.is_empty());
+    for line in results.snapshots_jsonl().lines() {
+        let doc = Json::parse(line).expect("deterministic snapshot line parses");
+        assert!(doc.get("wall").is_none(), "wall data in deterministic line");
+        assert!(doc.get("seq").is_some());
+    }
+    for line in results.snapshots_full_jsonl().lines() {
+        let doc = Json::parse(line).expect("full snapshot line parses");
+        assert!(doc.get("wall").is_some(), "full line without wall data");
+    }
+}
+
+/// The ops dashboard renders the whole picture: progress, quantiles,
+/// and the SLO verdict (quiet here — a healthy run with no prior epoch
+/// must not alert).
+#[test]
+fn ops_dashboard_renders_and_stays_quiet_on_a_healthy_run() {
+    let results = study();
+    let set = ops::study_metrics(results).expect("export");
+    let alerts = ops::evaluate_slos(&set, None);
+    let text = report::render_ops(results, &set, &alerts);
+    assert!(text.contains("progress:"));
+    assert!(text.contains("p99="));
+    assert!(
+        alerts.is_empty() && text.contains("no alerts fired"),
+        "healthy run alerted: {text}"
+    );
+}
